@@ -1,0 +1,105 @@
+// Package anongossip reproduces "Anonymous Gossip: Improving Multicast
+// Reliability in Mobile Ad-Hoc Networks" (Chandra, Ramasubramanian,
+// Birman — ICDCS 2001) as a self-contained Go library.
+//
+// Anonymous Gossip (AG) is a reliability layer for multicast in mobile
+// ad-hoc networks: packets are first multicast over an unreliable
+// multicast routing protocol (MAODV here, as in the paper), while a
+// concurrent gossip phase recovers lost packets from other group members
+// — without any member ever needing to know the group membership.
+//
+// The package is a facade over the full simulation stack in internal/:
+// a deterministic discrete-event kernel, random-waypoint mobility, a
+// unit-disc radio with collisions, an 802.11-style MAC, AODV unicast
+// routing, MAODV multicast routing, the Anonymous Gossip engine, and a
+// flooding baseline. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+//
+// # Quick start
+//
+//	cfg := anongossip.DefaultConfig() // the paper's §5.1 environment
+//	cfg.Seed = 42
+//	res, err := anongossip.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("delivery %.1f%%, goodput %.1f%%\n",
+//		100*res.DeliveryRatio(), res.MeanGoodput())
+//
+// Switch cfg.Protocol to ProtocolMAODV for the bare-multicast baseline
+// the paper compares against, or ProtocolFlood for the related-work
+// flooding baseline.
+package anongossip
+
+import (
+	"io"
+
+	"anongossip/internal/scenario"
+)
+
+// Protocol selects the multicast stack under test.
+type Protocol = scenario.Protocol
+
+// Protocols under test (the paper's two curves plus the flooding
+// baseline from its related work).
+const (
+	// ProtocolMAODV runs bare MAODV (the paper's "Maodv" curves).
+	ProtocolMAODV = scenario.ProtocolMAODV
+	// ProtocolGossip runs MAODV plus Anonymous Gossip (the paper's
+	// "Gossip" curves).
+	ProtocolGossip = scenario.ProtocolGossip
+	// ProtocolFlood runs plain flooding (related work [13]).
+	ProtocolFlood = scenario.ProtocolFlood
+	// ProtocolODMRP runs the bare mesh-based multicast protocol
+	// (paper reference [10]).
+	ProtocolODMRP = scenario.ProtocolODMRP
+	// ProtocolODMRPGossip runs ODMRP plus Anonymous Gossip — the
+	// paper's future-work claim (§5.5, §7).
+	ProtocolODMRPGossip = scenario.ProtocolODMRPGossip
+)
+
+// Config describes one simulation run; zero value is not usable — start
+// from DefaultConfig.
+type Config = scenario.Config
+
+// Result is the outcome of one run.
+type Result = scenario.Result
+
+// MemberResult is one receiver's outcome within a Result.
+type MemberResult = scenario.MemberResult
+
+// Aggregate summarises one protocol at one sweep point across seeds.
+type Aggregate = scenario.Aggregate
+
+// ComparisonRow pairs Gossip and MAODV aggregates at one sweep point.
+type ComparisonRow = scenario.ComparisonRow
+
+// DefaultConfig returns the paper's §5.1 environment: 200 m × 200 m,
+// 40 nodes (a third of them group members), 75 m transmission range,
+// max speed 0.2 m/s with pauses uniform in [0, 80 s], 2 Mbps 802.11,
+// and a CBR source sending 2201 × 64-byte packets (200 ms period,
+// t = 120 s … 560 s) in a 600 s run.
+func DefaultConfig() Config { return scenario.DefaultConfig() }
+
+// Run executes one simulation and returns its collected results.
+func Run(cfg Config) (*Result, error) { return scenario.Run(cfg) }
+
+// RunSeeds executes cfg once per seed in parallel (the paper repeats
+// every experiment with 10 random seeds).
+func RunSeeds(cfg Config, seeds []int64, parallel int) ([]*Result, error) {
+	return scenario.RunSeeds(cfg, seeds, parallel)
+}
+
+// AggregateResults merges per-seed results into a single summary.
+func AggregateResults(results []*Result) Aggregate {
+	return scenario.AggregateResults(results)
+}
+
+// RunComparison sweeps xs, running the Gossip and MAODV protocols at
+// each point, mirroring the paper's paired curves. apply customises the
+// base config for an x value; progress may be nil.
+func RunComparison(base Config, xs []float64, apply func(Config, float64) Config,
+	seeds []int64, parallel int, progress io.Writer) ([]ComparisonRow, error) {
+	return scenario.RunComparison(base, xs, apply, seeds, parallel, progress)
+}
+
+// Seeds returns the canonical seed list {1..n}.
+func Seeds(n int) []int64 { return scenario.Seeds(n) }

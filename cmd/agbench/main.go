@@ -1,0 +1,129 @@
+// Command agbench regenerates the paper's figures as text tables.
+//
+// Usage:
+//
+//	agbench -fig 2          # one figure
+//	agbench -fig all        # everything
+//	agbench -fig 4 -seeds 10 -parallel 4
+//
+// Each table prints one row per x-axis point with the Gossip and MAODV
+// mean delivery and [min, max] error bars across all members and seeds,
+// the same series the paper plots. Figure 8 prints per-case goodput.
+// With the paper's full 10-seed sweeps (-seeds 10) a figure takes a few
+// minutes; the default 3 seeds preserve the shapes at a third of the
+// cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"anongossip/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agbench:", err)
+		os.Exit(1)
+	}
+}
+
+type figure struct {
+	id    int
+	title string
+	xName string
+	xs    []float64
+	apply func(scenario.Config, float64) scenario.Config
+}
+
+func figures() []figure {
+	return []figure{
+		{2, "Packet Delivery vs Transmission Range (speed 0.2 m/s)", "range(m)", scenario.Fig2Xs(), scenario.ApplyFig2},
+		{3, "Packet Delivery vs Transmission Range (speed 2 m/s)", "range(m)", scenario.Fig3Xs(), scenario.ApplyFig3},
+		{4, "Packet Delivery vs Maximum Speed 0.1-1.0 m/s (range 75 m)", "speed(m/s)", scenario.Fig4Xs(), scenario.ApplyFig4And5},
+		{5, "Packet Delivery vs Maximum Speed 1-10 m/s (range 75 m)", "speed(m/s)", scenario.Fig5Xs(), scenario.ApplyFig4And5},
+		{6, "Packet Delivery vs Number of Nodes (constant mean degree)", "nodes", scenario.Fig6Xs(), scenario.ApplyFig6},
+		{7, "Packet Delivery vs Number of Nodes (range 55 m)", "nodes", scenario.Fig7Xs(), scenario.ApplyFig7},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agbench", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate: 2..8 or all")
+		seeds    = fs.Int("seeds", 3, "seeds per point (paper: 10)")
+		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
+		duration = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[int]bool{}
+	if *fig == "all" {
+		for i := 2; i <= 8; i++ {
+			want[i] = true
+		}
+	} else {
+		n, err := strconv.Atoi(*fig)
+		if err != nil || n < 2 || n > 8 {
+			return fmt.Errorf("invalid -fig %q (want 2..8 or all)", *fig)
+		}
+		want[n] = true
+	}
+
+	base := scenario.DefaultConfig()
+	if *duration != base.Duration {
+		base.Duration = *duration
+		// Keep the paper's proportions: warm-up then CBR with a 40 s
+		// cool-down tail.
+		base.DataStart = *duration / 5
+		base.DataEnd = *duration - 40*time.Second
+		if base.DataEnd <= base.DataStart {
+			return fmt.Errorf("duration %v too short for a data window", *duration)
+		}
+	}
+	seedList := scenario.Seeds(*seeds)
+	start := time.Now()
+
+	for _, f := range figures() {
+		if !want[f.id] {
+			continue
+		}
+		fmt.Printf("=== Figure %d: %s ===\n", f.id, f.title)
+		fmt.Printf("(%d seeds, %d packets sent per run)\n", len(seedList), base.ExpectedPackets())
+		fmt.Printf("%-10s | %28s | %28s\n", f.xName,
+			"Gossip mean [min,max] (std)", "Maodv mean [min,max] (std)")
+		rows, err := scenario.RunComparison(base, f.xs, f.apply, seedList, *parallel, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-10.1f | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
+				r.X,
+				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max, r.Gossip.Received.Std,
+				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max, r.Maodv.Received.Std)
+		}
+		fmt.Println()
+	}
+
+	if want[8] {
+		fmt.Println("=== Figure 8: Goodput at group members ===")
+		fmt.Printf("%-18s | %10s %8s %8s\n", "case", "mean", "min", "max")
+		for _, gc := range scenario.Fig8Cases() {
+			row, err := scenario.RunGoodput(base, gc, seedList, *parallel)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%4.0fm, %3.1fm/s      | %9.2f%% %7.2f%% %7.2f%%\n",
+				gc.TxRange, gc.MaxSpeed, row.Summary.Mean, row.Summary.Min, row.Summary.Max)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

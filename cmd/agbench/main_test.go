@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestRunQuickFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A shrunken Fig. 8 run exercises the full path quickly.
+	err := run([]string{"-fig", "8", "-seeds", "1", "-duration", "90s"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-fig", "1"}); err == nil {
+		t.Fatal("figure 1 accepted (paper has no such experiment)")
+	}
+	if err := run([]string{"-fig", "nine"}); err == nil {
+		t.Fatal("non-numeric figure accepted")
+	}
+	if err := run([]string{"-duration", "10s"}); err == nil {
+		t.Fatal("too-short duration accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFigureDefinitionsComplete(t *testing.T) {
+	figs := figures()
+	if len(figs) != 6 {
+		t.Fatalf("line figures = %d, want 6 (2..7; fig 8 is special-cased)", len(figs))
+	}
+	seen := map[int]bool{}
+	for _, f := range figs {
+		if f.apply == nil || len(f.xs) == 0 || f.title == "" {
+			t.Fatalf("figure %d incomplete: %+v", f.id, f)
+		}
+		if seen[f.id] {
+			t.Fatalf("figure %d duplicated", f.id)
+		}
+		seen[f.id] = true
+	}
+	for id := 2; id <= 7; id++ {
+		if !seen[id] {
+			t.Fatalf("figure %d missing", id)
+		}
+	}
+}

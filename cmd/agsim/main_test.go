@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestRunShortSimulation(t *testing.T) {
+	err := run([]string{
+		"-protocol", "gossip",
+		"-nodes", "15",
+		"-range", "70",
+		"-duration", "60s",
+		"-seed", "2",
+		"-verbose",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []string{"maodv", "flood"} {
+		if err := run([]string{"-protocol", p, "-nodes", "12", "-duration", "60s"}); err != nil {
+			t.Fatalf("protocol %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-protocol", "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-nodes", "1", "-duration", "60s"}); err == nil {
+		t.Fatal("single-node config accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,616 @@
+// Package aodv implements the Ad-hoc On-demand Distance Vector unicast
+// routing protocol (IETF draft v5 era, the paper's reference [11]) on top
+// of the node stack. MAODV (package maodv) extends it through the
+// MulticastHooks interface: join RREQs and multicast RREPs reuse AODV's
+// flood/relay mechanics, exactly as the MAODV draft specifies.
+//
+// Implemented behaviours:
+//
+//   - route table with destination sequence numbers, hop counts and
+//     lifetimes; freshness rules on every install;
+//   - expanding RREQ retry with per-destination packet queues;
+//   - intermediate-node RREP for fresh routes;
+//   - RERR propagation on broken links;
+//   - hello beacons (600 ms interval, allowed loss 4 in the paper's
+//     configuration) driving neighbour tracking, plus immediate breakage
+//     signals from MAC retry exhaustion.
+package aodv
+
+import (
+	"slices"
+	"time"
+
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// Config holds the AODV parameters. The paper pins HelloInterval and
+// AllowedHelloLoss; the rest follow the draft's defaults scaled to the
+// small terrain.
+type Config struct {
+	// HelloInterval is the beacon period (600 ms in the paper).
+	HelloInterval time.Duration
+	// AllowedHelloLoss consecutive missed hellos break a link (4 in the
+	// paper).
+	AllowedHelloLoss int
+	// ActiveRouteTimeout is the route lifetime, refreshed on use.
+	ActiveRouteTimeout time.Duration
+	// RREQRetries is the number of retries after the first RREQ.
+	RREQRetries int
+	// RREQTimeout is the first reply-wait; it doubles per retry.
+	RREQTimeout time.Duration
+	// MaxQueuedPerDest bounds the packets held while discovering a route.
+	MaxQueuedPerDest int
+	// SeenLifetime is how long RREQ (orig, id) pairs stay in the dedup
+	// cache.
+	SeenLifetime time.Duration
+	// HelloJitter randomises beacon phase to avoid network-wide
+	// synchronisation.
+	HelloJitter time.Duration
+	// BroadcastJitter delays flood rebroadcasts by a uniform random
+	// amount. Without it, sibling relays that cannot hear each other
+	// (hidden terminals) rebroadcast a flood at the same instant and
+	// collide at every common neighbour — the classic broadcast-storm
+	// pathology every deployed AODV implementation jitters against.
+	BroadcastJitter time.Duration
+}
+
+// DefaultConfig returns the paper's AODV configuration.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval:      600 * time.Millisecond,
+		AllowedHelloLoss:   4,
+		ActiveRouteTimeout: 6 * time.Second,
+		RREQRetries:        2,
+		RREQTimeout:        500 * time.Millisecond,
+		MaxQueuedPerDest:   10,
+		SeenLifetime:       5 * time.Second,
+		HelloJitter:        100 * time.Millisecond,
+		BroadcastJitter:    10 * time.Millisecond,
+	}
+}
+
+// MulticastHooks is implemented by the MAODV layer.
+type MulticastHooks interface {
+	// HandleJoinRREQ examines a join/repair RREQ. If the node can answer
+	// (it is a suitable tree node), the hook sends the multicast RREP
+	// itself and returns true; returning false lets the flood continue.
+	HandleJoinRREQ(r *pkt.RREQ, from pkt.NodeID) bool
+	// ObserveMulticastRREP runs at every node a multicast RREP visits
+	// (including the join originator), letting MAODV record activation
+	// paths. atOrigin reports whether this node is the RREP's requester.
+	ObserveMulticastRREP(r *pkt.RREP, from pkt.NodeID, atOrigin bool)
+}
+
+// route is one routing table entry.
+type route struct {
+	dst      pkt.NodeID
+	seq      uint32
+	seqValid bool
+	hops     uint8
+	nextHop  pkt.NodeID
+	expires  sim.Time
+	valid    bool
+}
+
+// discovery tracks an outstanding route request.
+type discovery struct {
+	dst     pkt.NodeID
+	retries int
+	timer   *sim.Timer
+	queued  []*pkt.Packet
+}
+
+// neighbor tracks hello liveness.
+type neighbor struct {
+	lastHeard sim.Time
+}
+
+// Stats counts AODV protocol activity.
+type Stats struct {
+	RREQsOriginated uint64
+	RREQsForwarded  uint64
+	RREPsOriginated uint64
+	RREPsForwarded  uint64
+	RERRsSent       uint64
+	HellosSent      uint64
+	DiscoveryFails  uint64
+	LinkBreaks      uint64
+	PacketsSalvaged uint64
+	PacketsDropped  uint64
+}
+
+// Router is one node's AODV entity.
+type Router struct {
+	cfg   Config
+	stack *node.Stack
+	sched *sim.Scheduler
+	rng   *sim.RNG
+
+	seq    uint32
+	rreqID uint32
+
+	routes    map[pkt.NodeID]*route
+	pending   map[pkt.NodeID]*discovery
+	seen      map[seenKey]sim.Time
+	neighbors map[pkt.NodeID]*neighbor
+
+	mc        MulticastHooks
+	breakSubs []func(n pkt.NodeID)
+
+	helloSeq uint32
+	stats    Stats
+}
+
+type seenKey struct {
+	orig pkt.NodeID
+	id   uint32
+}
+
+var _ node.UnicastRouter = (*Router)(nil)
+
+// New builds an AODV router bound to st and registers its handlers. Call
+// Start to begin hello beaconing.
+func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
+	r := &Router{
+		cfg:       cfg,
+		stack:     st,
+		sched:     st.Scheduler(),
+		rng:       rng,
+		routes:    make(map[pkt.NodeID]*route),
+		pending:   make(map[pkt.NodeID]*discovery),
+		seen:      make(map[seenKey]sim.Time),
+		neighbors: make(map[pkt.NodeID]*neighbor),
+	}
+	st.SetRouter(r)
+	st.Handle(pkt.KindHello, r.onHello)
+	st.Handle(pkt.KindRREQ, r.onRREQ)
+	st.Handle(pkt.KindRREP, r.onRREP)
+	st.Handle(pkt.KindRERR, r.onRERR)
+	st.OnHeard(r.onHeard)
+	st.OnLinkFailure(r.onMACFailure)
+	return r
+}
+
+// Start launches periodic hello beaconing and cache sweeping.
+func (r *Router) Start() {
+	r.sched.After(r.rng.Duration(r.cfg.HelloJitter), r.helloTick)
+	r.sched.After(r.cfg.HelloInterval, r.sweepTick)
+}
+
+// SetMulticastHooks installs the MAODV extension.
+func (r *Router) SetMulticastHooks(mc MulticastHooks) { r.mc = mc }
+
+// OnLinkBreak subscribes to broken-neighbour events (hello loss or MAC
+// failure). MAODV uses this to trigger tree repair.
+func (r *Router) OnLinkBreak(fn func(n pkt.NodeID)) {
+	r.breakSubs = append(r.breakSubs, fn)
+}
+
+// Stats returns a copy of the protocol counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// ID returns the owning node's address.
+func (r *Router) ID() pkt.NodeID { return r.stack.ID() }
+
+// --- node.UnicastRouter ---
+
+// NextHop implements node.UnicastRouter, refreshing the lifetime of used
+// routes.
+func (r *Router) NextHop(dst pkt.NodeID) (pkt.NodeID, bool) {
+	rt, ok := r.routes[dst]
+	if !ok || !rt.valid || rt.expires <= r.sched.Now() {
+		return 0, false
+	}
+	rt.expires = r.sched.Now() + r.cfg.ActiveRouteTimeout
+	return rt.nextHop, true
+}
+
+// QueueForRoute implements node.UnicastRouter: it parks the packet and
+// drives a route discovery for its destination.
+func (r *Router) QueueForRoute(p *pkt.Packet) {
+	d, running := r.pending[p.Dst]
+	if !running {
+		d = &discovery{dst: p.Dst}
+		r.pending[p.Dst] = d
+		r.sendRREQ(d)
+	}
+	if len(d.queued) >= r.cfg.MaxQueuedPerDest {
+		r.stats.PacketsDropped++
+		return
+	}
+	d.queued = append(d.queued, p)
+}
+
+// --- identifiers shared with MAODV ---
+
+// AllocRREQID returns a fresh route-request ID.
+func (r *Router) AllocRREQID() uint32 {
+	r.rreqID++
+	return r.rreqID
+}
+
+// NextSeq increments and returns the node's own sequence number.
+func (r *Router) NextSeq() uint32 {
+	r.seq++
+	return r.seq
+}
+
+// NoteOwnRREQ records a locally originated RREQ (orig, id) so the node
+// ignores echoes of its own flood.
+func (r *Router) NoteOwnRREQ(id uint32) {
+	r.seen[seenKey{orig: r.stack.ID(), id: id}] = r.sched.Now() + r.cfg.SeenLifetime
+}
+
+// HaveNeighbor reports whether n is currently tracked as a live
+// neighbour.
+func (r *Router) HaveNeighbor(n pkt.NodeID) bool {
+	_, ok := r.neighbors[n]
+	return ok
+}
+
+// Neighbors returns the live neighbour set in ascending ID order.
+func (r *Router) Neighbors() []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, len(r.neighbors))
+	for n := range r.neighbors {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// sortedRouteDsts returns route-table destinations in ascending order,
+// keeping behaviour independent of map iteration order.
+func (r *Router) sortedRouteDsts() []pkt.NodeID {
+	out := make([]pkt.NodeID, 0, len(r.routes))
+	for dst := range r.routes {
+		out = append(out, dst)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// RouteHops returns the hop count of a valid route to dst, if known.
+func (r *Router) RouteHops(dst pkt.NodeID) (uint8, bool) {
+	rt, ok := r.routes[dst]
+	if !ok || !rt.valid || rt.expires <= r.sched.Now() {
+		return 0, false
+	}
+	return rt.hops, true
+}
+
+// RelayRREP addresses rrep to the next hop on the reverse path toward its
+// requester and transmits it. It reports false when no reverse route
+// exists. MAODV uses it to emit join replies; AODV uses it internally.
+func (r *Router) RelayRREP(rrep *pkt.RREP) bool {
+	if rrep.Orig == r.stack.ID() {
+		return false
+	}
+	next, ok := r.NextHop(rrep.Orig)
+	if !ok {
+		return false
+	}
+	p := pkt.NewPacket(r.stack.ID(), next, rrep)
+	r.stack.SendDirect(next, p)
+	return true
+}
+
+// --- route table maintenance ---
+
+// installRoute applies AODV's freshness rules: accept when the entry is
+// missing/invalid, the sequence number is newer, or equal with a shorter
+// hop count.
+func (r *Router) installRoute(dst pkt.NodeID, seq uint32, seqValid bool, hops uint8, nextHop pkt.NodeID) {
+	if dst == r.stack.ID() {
+		return
+	}
+	now := r.sched.Now()
+	rt, exists := r.routes[dst]
+	if !exists {
+		rt = &route{dst: dst}
+		r.routes[dst] = rt
+	}
+	stale := !rt.valid || rt.expires <= now
+	fresher := seqValid && (!rt.seqValid || newerSeq(seq, rt.seq) ||
+		(seq == rt.seq && hops < rt.hops))
+	if !stale && !fresher {
+		return
+	}
+	rt.seq = seq
+	rt.seqValid = seqValid || rt.seqValid
+	rt.hops = hops
+	rt.nextHop = nextHop
+	rt.expires = now + r.cfg.ActiveRouteTimeout
+	rt.valid = true
+	r.completeDiscovery(dst)
+}
+
+// newerSeq compares 32-bit sequence numbers with wraparound.
+func newerSeq(a, b uint32) bool { return int32(a-b) > 0 }
+
+func (r *Router) completeDiscovery(dst pkt.NodeID) {
+	d, ok := r.pending[dst]
+	if !ok {
+		return
+	}
+	delete(r.pending, dst)
+	if d.timer != nil {
+		d.timer.Cancel()
+	}
+	for _, p := range d.queued {
+		r.stack.Forward(p, false)
+	}
+}
+
+// --- discovery ---
+
+func (r *Router) sendRREQ(d *discovery) {
+	id := r.AllocRREQID()
+	r.NoteOwnRREQ(id)
+	req := &pkt.RREQ{
+		ID:      id,
+		Dst:     uint32(d.dst),
+		Orig:    r.stack.ID(),
+		OrigSeq: r.NextSeq(),
+
+		LeaderHops: pkt.LeaderHopsUnset,
+	}
+	if rt, ok := r.routes[d.dst]; ok && rt.seqValid {
+		req.DstSeq = rt.seq
+	} else {
+		req.Flags |= pkt.RREQUnknownSeq
+	}
+	r.stats.RREQsOriginated++
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, req))
+
+	wait := r.cfg.RREQTimeout << uint(d.retries)
+	d.timer = r.sched.After(wait, func() { r.onDiscoveryTimeout(d) })
+}
+
+func (r *Router) onDiscoveryTimeout(d *discovery) {
+	if _, still := r.pending[d.dst]; !still {
+		return
+	}
+	if d.retries >= r.cfg.RREQRetries {
+		delete(r.pending, d.dst)
+		r.stats.DiscoveryFails++
+		r.stats.PacketsDropped += uint64(len(d.queued))
+		return
+	}
+	d.retries++
+	r.sendRREQ(d)
+}
+
+// --- packet handlers ---
+
+func (r *Router) onHello(p *pkt.Packet, from pkt.NodeID) {
+	// Liveness is tracked by onHeard for every frame; the hello only
+	// installs/refreshes the 1-hop route.
+	r.installRoute(from, 0, false, 1, from)
+}
+
+func (r *Router) onHeard(n pkt.NodeID) {
+	nb, ok := r.neighbors[n]
+	if !ok {
+		nb = &neighbor{}
+		r.neighbors[n] = nb
+	}
+	nb.lastHeard = r.sched.Now()
+}
+
+func (r *Router) onRREQ(p *pkt.Packet, from pkt.NodeID) {
+	req, ok := p.Body.(*pkt.RREQ)
+	if !ok {
+		return
+	}
+	me := r.stack.ID()
+	if req.Orig == me {
+		return // echo of our own flood
+	}
+	key := seenKey{orig: req.Orig, id: req.ID}
+	now := r.sched.Now()
+	if exp, dup := r.seen[key]; dup && exp > now {
+		return
+	}
+	r.seen[key] = now + r.cfg.SeenLifetime
+
+	hops := req.HopCount + 1
+	// Reverse route toward the originator.
+	r.installRoute(req.Orig, req.OrigSeq, true, hops, from)
+	// And a 1-hop route to the relay.
+	r.installRoute(from, 0, false, 1, from)
+
+	if req.Join() {
+		if r.mc != nil && r.mc.HandleJoinRREQ(req, from) {
+			return // answered by the multicast layer
+		}
+		r.rebroadcastRREQ(p, req)
+		return
+	}
+
+	dst := pkt.NodeID(req.Dst)
+	if dst == me {
+		// We are the destination: reply with our own sequence number.
+		if req.Flags&pkt.RREQUnknownSeq == 0 && newerSeq(req.DstSeq, r.seq) {
+			r.seq = req.DstSeq
+		}
+		r.NextSeq()
+		r.sendRREP(&pkt.RREP{
+			Dst:        req.Dst,
+			DstSeq:     r.seq,
+			Orig:       req.Orig,
+			HopCount:   0,
+			LifetimeMS: uint32(r.cfg.ActiveRouteTimeout / time.Millisecond),
+			RREQID:     req.ID,
+		})
+		return
+	}
+	// Intermediate reply when we hold a fresh-enough route.
+	if rt, have := r.routes[dst]; have && rt.valid && rt.expires > now && rt.seqValid &&
+		(req.Flags&pkt.RREQUnknownSeq != 0 || !newerSeq(req.DstSeq, rt.seq)) {
+		r.sendRREP(&pkt.RREP{
+			Dst:        req.Dst,
+			DstSeq:     rt.seq,
+			Orig:       req.Orig,
+			HopCount:   rt.hops,
+			LifetimeMS: uint32((rt.expires - now) / time.Millisecond),
+			RREQID:     req.ID,
+		})
+		return
+	}
+	r.rebroadcastRREQ(p, req)
+}
+
+func (r *Router) rebroadcastRREQ(p *pkt.Packet, req *pkt.RREQ) {
+	if p.TTL <= 1 {
+		return
+	}
+	cp := p.Clone()
+	cp.TTL--
+	body, ok := cp.Body.(*pkt.RREQ)
+	if !ok {
+		return
+	}
+	body.HopCount = req.HopCount + 1
+	r.stats.RREQsForwarded++
+	r.sched.After(r.rng.Duration(r.cfg.BroadcastJitter), func() {
+		r.stack.SendBroadcast(cp)
+	})
+}
+
+// sendRREP emits a reply we originate (as destination or intermediate).
+func (r *Router) sendRREP(rrep *pkt.RREP) {
+	r.stats.RREPsOriginated++
+	if !r.RelayRREP(rrep) {
+		// No reverse route: the requester is unreachable; drop.
+		r.stats.PacketsDropped++
+	}
+}
+
+func (r *Router) onRREP(p *pkt.Packet, from pkt.NodeID) {
+	rep, ok := p.Body.(*pkt.RREP)
+	if !ok {
+		return
+	}
+	me := r.stack.ID()
+	r.installRoute(from, 0, false, 1, from)
+
+	atOrigin := rep.Orig == me
+	if rep.Multicast() {
+		if r.mc != nil {
+			r.mc.ObserveMulticastRREP(rep, from, atOrigin)
+		}
+	} else {
+		// Forward route toward the replied destination.
+		r.installRoute(pkt.NodeID(rep.Dst), rep.DstSeq, true, rep.HopCount+1, from)
+	}
+	if atOrigin {
+		return
+	}
+	// Relay along the reverse path toward the requester.
+	cp := rep.CloneBody()
+	fwd, ok := cp.(*pkt.RREP)
+	if !ok {
+		return
+	}
+	fwd.HopCount = rep.HopCount + 1
+	r.stats.RREPsForwarded++
+	if !r.RelayRREP(fwd) {
+		r.stats.PacketsDropped++
+	}
+}
+
+func (r *Router) onRERR(p *pkt.Packet, from pkt.NodeID) {
+	rerr, ok := p.Body.(*pkt.RERR)
+	if !ok {
+		return
+	}
+	var propagate []pkt.Unreachable
+	for _, u := range rerr.Dests {
+		rt, have := r.routes[u.Addr]
+		if !have || !rt.valid || rt.nextHop != from {
+			continue
+		}
+		rt.valid = false
+		rt.seq = u.Seq
+		propagate = append(propagate, u)
+	}
+	if len(propagate) > 0 && p.TTL > 1 {
+		r.stats.RERRsSent++
+		out := pkt.NewPacket(r.stack.ID(), pkt.Broadcast, &pkt.RERR{Dests: propagate})
+		out.TTL = p.TTL - 1
+		r.stack.SendBroadcast(out)
+	}
+}
+
+// --- link breakage ---
+
+func (r *Router) onMACFailure(n pkt.NodeID, p *pkt.Packet) {
+	// Salvage packets addressed beyond the broken hop: requeue for a
+	// fresh discovery once the stale route is removed.
+	salvage := p != nil && p.Dst != n && p.Dst != pkt.Broadcast &&
+		p.Dst != r.stack.ID() && !p.Kind.IsControl()
+	r.breakLink(n)
+	if salvage {
+		r.stats.PacketsSalvaged++
+		r.stack.Forward(p, false)
+	}
+}
+
+// breakLink removes neighbour state, invalidates dependent routes,
+// propagates RERR and notifies subscribers.
+func (r *Router) breakLink(n pkt.NodeID) {
+	if _, tracked := r.neighbors[n]; tracked {
+		delete(r.neighbors, n)
+	}
+	r.stats.LinkBreaks++
+
+	var lost []pkt.Unreachable
+	for _, dst := range r.sortedRouteDsts() {
+		rt := r.routes[dst]
+		if rt.valid && rt.nextHop == n {
+			rt.valid = false
+			rt.seq++
+			lost = append(lost, pkt.Unreachable{Addr: dst, Seq: rt.seq})
+		}
+	}
+	if len(lost) > 0 {
+		r.stats.RERRsSent++
+		r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, &pkt.RERR{Dests: lost}))
+	}
+	for _, fn := range r.breakSubs {
+		fn(n)
+	}
+}
+
+// --- periodic timers ---
+
+func (r *Router) helloTick() {
+	r.helloSeq++
+	r.stats.HellosSent++
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, &pkt.Hello{Seq: r.helloSeq}))
+	jitter := r.rng.DurationRange(-r.cfg.HelloJitter/2, r.cfg.HelloJitter/2)
+	r.sched.After(r.cfg.HelloInterval+jitter, r.helloTick)
+}
+
+func (r *Router) sweepTick() {
+	now := r.sched.Now()
+	deadline := time.Duration(r.cfg.AllowedHelloLoss) * r.cfg.HelloInterval
+	var dead []pkt.NodeID
+	for n, nb := range r.neighbors {
+		if now-nb.lastHeard > deadline {
+			dead = append(dead, n)
+		}
+	}
+	slices.Sort(dead)
+	for _, n := range dead {
+		r.breakLink(n)
+	}
+	for k, exp := range r.seen {
+		if exp <= now {
+			delete(r.seen, k)
+		}
+	}
+	r.sched.After(r.cfg.HelloInterval, r.sweepTick)
+}

@@ -1,0 +1,154 @@
+// Package flood implements plain flooding multicast, the approach of the
+// paper's related work [13] (Ho et al., "Flooding for Reliable Multicast
+// in Multi-Hop Ad-Hoc Networks") in its basic, non-hyper variant: every
+// node rebroadcasts every data packet exactly once.
+//
+// It serves as a baseline for the ablation benchmarks: flooding is robust
+// to mobility (no structures to repair) but generates a transmission per
+// node per packet, congesting the medium exactly as the paper's related
+// work section argues.
+package flood
+
+import (
+	"errors"
+	"time"
+
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// Config parameterises the flooding protocol.
+type Config struct {
+	// RebroadcastJitter spreads rebroadcasts to avoid synchronised
+	// collisions among neighbours (the classic broadcast-storm
+	// mitigation).
+	RebroadcastJitter time.Duration
+	// CacheSize bounds the duplicate-suppression cache.
+	CacheSize int
+	// PayloadLen is the synthetic application payload size.
+	PayloadLen uint16
+}
+
+// DefaultConfig returns flooding defaults matched to the paper's
+// workload.
+func DefaultConfig() Config {
+	return Config{
+		RebroadcastJitter: 10 * time.Millisecond,
+		CacheSize:         1024,
+		PayloadLen:        64,
+	}
+}
+
+// DeliverFunc consumes data packets delivered to a member application.
+type DeliverFunc func(group pkt.GroupID, d *pkt.Data, from pkt.NodeID)
+
+// Stats counts flooding activity at one node.
+type Stats struct {
+	DataSent        uint64
+	DataDelivered   uint64
+	DataRebroadcast uint64
+	DataDuplicates  uint64
+}
+
+// Router is one node's flooding entity.
+type Router struct {
+	cfg   Config
+	stack *node.Stack
+	sched *sim.Scheduler
+	rng   *sim.RNG
+
+	members map[pkt.GroupID]bool
+	seen    map[pkt.SeqKey]struct{}
+	order   []pkt.SeqKey
+	next    int
+	seq     uint32
+
+	subs  []DeliverFunc
+	stats Stats
+}
+
+// New builds a flooding router bound to the node stack.
+func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
+	r := &Router{
+		cfg:     cfg,
+		stack:   st,
+		sched:   st.Scheduler(),
+		rng:     rng,
+		members: make(map[pkt.GroupID]bool),
+		seen:    make(map[pkt.SeqKey]struct{}, cfg.CacheSize),
+	}
+	st.Handle(pkt.KindData, r.onData)
+	return r
+}
+
+// OnDeliver subscribes to member deliveries.
+func (r *Router) OnDeliver(fn DeliverFunc) { r.subs = append(r.subs, fn) }
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Join registers group membership (delivery only; flooding needs no
+// routing state).
+func (r *Router) Join(g pkt.GroupID) { r.members[g] = true }
+
+// Leave revokes membership.
+func (r *Router) Leave(g pkt.GroupID) { delete(r.members, g) }
+
+// IsMember reports membership.
+func (r *Router) IsMember(g pkt.GroupID) bool { return r.members[g] }
+
+// ErrNotMember reports a SendData call from a non-member.
+var ErrNotMember = errors.New("flood: node is not a member of the group")
+
+// SendData floods one application payload to the group.
+func (r *Router) SendData(g pkt.GroupID) (pkt.SeqKey, error) {
+	if !r.members[g] {
+		return pkt.SeqKey{}, ErrNotMember
+	}
+	r.seq++
+	d := &pkt.Data{Group: g, Origin: r.stack.ID(), Seq: r.seq, PayloadLen: r.cfg.PayloadLen}
+	r.note(d.Key())
+	r.stats.DataSent++
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, d))
+	return d.Key(), nil
+}
+
+func (r *Router) onData(p *pkt.Packet, from pkt.NodeID) {
+	d, ok := p.Body.(*pkt.Data)
+	if !ok {
+		return
+	}
+	if _, dup := r.seen[d.Key()]; dup {
+		r.stats.DataDuplicates++
+		return
+	}
+	r.note(d.Key())
+
+	if r.members[d.Group] {
+		r.stats.DataDelivered++
+		for _, fn := range r.subs {
+			fn(d.Group, d, from)
+		}
+	}
+	if p.TTL <= 1 {
+		return
+	}
+	cp := p.Clone()
+	cp.TTL--
+	r.stats.DataRebroadcast++
+	r.sched.After(r.rng.Duration(r.cfg.RebroadcastJitter), func() {
+		r.stack.SendBroadcast(cp)
+	})
+}
+
+func (r *Router) note(k pkt.SeqKey) {
+	if len(r.order) < r.cfg.CacheSize {
+		r.order = append(r.order, k)
+	} else {
+		delete(r.seen, r.order[r.next])
+		r.order[r.next] = k
+		r.next = (r.next + 1) % r.cfg.CacheSize
+	}
+	r.seen[k] = struct{}{}
+}

@@ -1,0 +1,151 @@
+package flood
+
+import (
+	"testing"
+	"time"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/mac"
+	"anongossip/internal/mobility"
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+const group pkt.GroupID = 0xE0000001
+
+type fworld struct {
+	sched     *sim.Scheduler
+	routers   []*Router
+	delivered []int
+}
+
+// nullRouter satisfies node.UnicastRouter for flooding-only stacks.
+type nullRouter struct{}
+
+func (nullRouter) NextHop(pkt.NodeID) (pkt.NodeID, bool) { return 0, false }
+func (nullRouter) QueueForRoute(*pkt.Packet)             {}
+
+func buildF(t *testing.T, positions []geom.Point, members []int) *fworld {
+	t.Helper()
+	w := &fworld{sched: sim.NewScheduler(), delivered: make([]int, len(positions))}
+	medium := radio.NewMedium(w.sched, radio.Params{Range: 60})
+	rng := sim.NewRNG(5)
+	isMember := map[int]bool{}
+	for _, m := range members {
+		isMember[m] = true
+	}
+	for i, p := range positions {
+		i := i
+		id := pkt.NodeID(i + 1)
+		st := node.New(w.sched, rng.Derive(id.String()), medium, id,
+			mobility.Static{P: p}, mac.DefaultConfig())
+		st.SetRouter(nullRouter{})
+		r := New(st, rng.Derive("f/"+id.String()), DefaultConfig())
+		if isMember[i] {
+			r.Join(group)
+		}
+		r.OnDeliver(func(pkt.GroupID, *pkt.Data, pkt.NodeID) { w.delivered[i]++ })
+		w.routers = append(w.routers, r)
+	}
+	return w
+}
+
+func line(n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{X: float64(i) * 50}
+	}
+	return out
+}
+
+func TestFloodReachesAllMembers(t *testing.T) {
+	w := buildF(t, line(5), []int{0, 2, 4})
+	w.sched.After(time.Second, func() {
+		if _, err := w.routers[0].SendData(group); err != nil {
+			t.Errorf("SendData: %v", err)
+		}
+	})
+	w.sched.Run(5 * time.Second)
+
+	if w.delivered[2] != 1 || w.delivered[4] != 1 {
+		t.Fatalf("deliveries = %v, want members 3 and 5 to get 1", w.delivered)
+	}
+	// Non-members relay but do not deliver.
+	if w.delivered[1] != 0 || w.delivered[3] != 0 {
+		t.Fatalf("non-members delivered: %v", w.delivered)
+	}
+	if w.routers[1].Stats().DataRebroadcast == 0 {
+		t.Fatal("relay never rebroadcast")
+	}
+}
+
+func TestFloodEveryNodeRebroadcastsOnce(t *testing.T) {
+	w := buildF(t, line(4), []int{0, 3})
+	w.sched.After(time.Second, func() { _, _ = w.routers[0].SendData(group) })
+	w.sched.Run(5 * time.Second)
+
+	for i := 1; i < 4; i++ {
+		if got := w.routers[i].Stats().DataRebroadcast; got != 1 {
+			t.Fatalf("node %d rebroadcast %d times, want 1", i+1, got)
+		}
+	}
+}
+
+func TestFloodDuplicateSuppression(t *testing.T) {
+	// A triangle: every node hears every other, so each packet arrives
+	// twice at each non-source node.
+	w := buildF(t, []geom.Point{{X: 0}, {X: 40}, {X: 20, Y: 30}}, []int{0, 1, 2})
+	w.sched.After(time.Second, func() { _, _ = w.routers[0].SendData(group) })
+	w.sched.Run(5 * time.Second)
+
+	if w.delivered[1] != 1 || w.delivered[2] != 1 {
+		t.Fatalf("deliveries = %v, want exactly 1 each", w.delivered)
+	}
+	dups := w.routers[1].Stats().DataDuplicates + w.routers[2].Stats().DataDuplicates
+	if dups == 0 {
+		t.Fatal("no duplicates recorded in a triangle")
+	}
+}
+
+func TestFloodRequiresMembership(t *testing.T) {
+	w := buildF(t, line(1), nil)
+	if _, err := w.routers[0].SendData(group); err == nil {
+		t.Fatal("non-member SendData succeeded")
+	}
+}
+
+func TestFloodLeave(t *testing.T) {
+	w := buildF(t, line(2), []int{0, 1})
+	w.routers[1].Leave(group)
+	w.sched.After(time.Second, func() { _, _ = w.routers[0].SendData(group) })
+	w.sched.Run(3 * time.Second)
+	if w.delivered[1] != 0 {
+		t.Fatal("left member still delivered")
+	}
+	if w.routers[1].IsMember(group) {
+		t.Fatal("IsMember true after Leave")
+	}
+}
+
+func TestFloodCacheBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheSize = 4
+	sched := sim.NewScheduler()
+	medium := radio.NewMedium(sched, radio.Params{Range: 60})
+	rng := sim.NewRNG(1)
+	st := node.New(sched, rng, medium, 1, mobility.Static{}, mac.DefaultConfig())
+	st.SetRouter(nullRouter{})
+	r := New(st, rng.Derive("f"), cfg)
+	r.Join(group)
+	sched.After(0, func() {
+		for i := 0; i < 20; i++ {
+			_, _ = r.SendData(group)
+		}
+	})
+	sched.Run(time.Second)
+	if len(r.seen) > 4 || len(r.order) > 4 {
+		t.Fatalf("cache grew past bound: %d/%d", len(r.seen), len(r.order))
+	}
+}

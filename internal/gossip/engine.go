@@ -1,0 +1,571 @@
+// Package gossip implements Anonymous Gossip (AG), the paper's core
+// contribution: a reliability layer that recovers multicast losses
+// through gossip rounds without any knowledge of group membership.
+//
+// Each member runs a periodic round (one per second in the paper). A
+// round either starts an anonymous walk — a gossip request that travels
+// hop-by-hop along the multicast tree, biased toward branches whose
+// nearest-member distance is small (paper §4.2), until some member
+// accepts it — or, with probability 1-PAnon, unicasts the request
+// directly to a member from the bounded member cache (paper §4.3). The
+// accepting member looks up the requested sequence numbers in its
+// bounded history table and unicasts the found packets back (pull
+// exchange, paper §4.4).
+//
+// The engine's only coupling to the underlying multicast protocol is the
+// Tree interface (enabled next hops + nearest-member values), mirroring
+// the paper's claim that AG layers over any tree- or mesh-based
+// multicast protocol.
+package gossip
+
+import (
+	"slices"
+	"time"
+
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// NextHop is one walkable tree link.
+type NextHop struct {
+	ID pkt.NodeID
+	// Nearest is the advertised hop distance to the closest member
+	// through this link (pkt.NearestUnknown if not yet known).
+	Nearest uint8
+}
+
+// Tree is the multicast-protocol interface AG walks over. package maodv
+// satisfies it through a thin adapter, package odmrp directly (mesh
+// links instead of tree branches), and tests use synthetic topologies —
+// the protocol independence the paper claims in §5.5.
+type Tree interface {
+	// NextHops returns the enabled tree links at this node for a group.
+	NextHops(group pkt.GroupID) []NextHop
+	// IsMember reports whether this node is an application-level member.
+	IsMember(group pkt.GroupID) bool
+}
+
+// HopEstimator optionally supplies unicast route hop counts for member
+// cache bookkeeping (AODV provides this for free).
+type HopEstimator func(dst pkt.NodeID) (uint8, bool)
+
+// Mode selects the direction of information exchange (paper §4.4).
+type Mode int
+
+// Exchange modes.
+const (
+	// ModePull is the paper's protocol: requests carry lost/expected
+	// sequence numbers and the acceptor unicasts the data back.
+	ModePull Mode = iota + 1
+	// ModePush is the rejected alternative, kept for ablations: rounds
+	// push the initiator's recent history into the walk; the acceptor
+	// ingests it and sends nothing back.
+	ModePush
+)
+
+// Config holds the AG parameters; defaults follow paper §5.1.
+type Config struct {
+	// Interval is the gossip round period (1 s in the paper).
+	Interval time.Duration
+	// IntervalJitter randomises round phase across members.
+	IntervalJitter time.Duration
+	// PAnon is the probability a round uses an anonymous walk rather
+	// than cached gossip (paper §4.3; the paper leaves the value open).
+	PAnon float64
+	// AcceptProb is the probability a member receiving a walk accepts it
+	// instead of propagating (paper §4.1 "randomly decides").
+	AcceptProb float64
+	// LostBufferCap bounds lost-sequence numbers per gossip message
+	// (10 in the paper).
+	LostBufferCap int
+	// LostTableCap bounds the lost table (200 in the paper).
+	LostTableCap int
+	// HistoryCap bounds the history table (100 in the paper).
+	HistoryCap int
+	// CacheCap bounds the member cache (10 in the paper).
+	CacheCap int
+	// ExpectedCap bounds per-origin expected entries in a request.
+	ExpectedCap int
+	// MaxReplyMsgs bounds data packets per gossip reply.
+	MaxReplyMsgs int
+	// WalkTTL bounds anonymous walk length in hops.
+	WalkTTL int
+	// LocalityBias disables the nearest-member weighting when false
+	// (uniform next-hop choice); used by the ablation benchmarks.
+	LocalityBias bool
+	// Mode selects pull (the paper's choice) or push exchange.
+	Mode Mode
+}
+
+// DefaultConfig returns the paper's gossip configuration.
+func DefaultConfig() Config {
+	return Config{
+		Interval:       time.Second,
+		IntervalJitter: 200 * time.Millisecond,
+		PAnon:          0.7,
+		AcceptProb:     0.5,
+		LostBufferCap:  10,
+		LostTableCap:   200,
+		HistoryCap:     100,
+		CacheCap:       10,
+		ExpectedCap:    4,
+		MaxReplyMsgs:   10,
+		WalkTTL:        16,
+		LocalityBias:   true,
+		Mode:           ModePull,
+	}
+}
+
+// Stats counts gossip activity at one node. Goodput (paper §5.5) is
+// ReplyMsgsNew / (ReplyMsgsNew + ReplyMsgsDup).
+type Stats struct {
+	RoundsAnon      uint64
+	RoundsCached    uint64
+	RoundsSkipped   uint64
+	WalksForwarded  uint64
+	WalksAccepted   uint64
+	WalksDropped    uint64
+	RepliesSent     uint64
+	ReplyMsgsSent   uint64
+	RepliesReceived uint64
+	// ReplyMsgsNew counts non-duplicate messages received through gossip
+	// replies; ReplyMsgsDup counts duplicates (redundant traffic).
+	ReplyMsgsNew uint64
+	ReplyMsgsDup uint64
+	// Delivered counts unique data packets seen (tree + gossip).
+	Delivered uint64
+}
+
+// Goodput returns the percentage of useful gossip-reply messages, or 100
+// when no reply traffic arrived (matching the paper's definition, where
+// goodput is only plotted for members that received replies).
+func (s Stats) Goodput() float64 {
+	total := s.ReplyMsgsNew + s.ReplyMsgsDup
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(s.ReplyMsgsNew) / float64(total)
+}
+
+// DeliverFunc observes every unique data packet the member obtains;
+// recovered marks packets that arrived through gossip replies rather
+// than the multicast tree.
+type DeliverFunc func(group pkt.GroupID, d *pkt.Data, recovered bool)
+
+// groupState is the per-group gossip machinery of one member.
+type groupState struct {
+	id       pkt.GroupID
+	expected map[pkt.NodeID]uint32
+	lost     *lostTable
+	history  *historyTable
+	cache    *memberCache
+	timer    *sim.Timer
+}
+
+// Engine is one node's AG entity.
+type Engine struct {
+	cfg   Config
+	stack *node.Stack
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	tree  Tree
+	hops  HopEstimator
+
+	groups map[pkt.GroupID]*groupState
+	subs   []DeliverFunc
+
+	stats Stats
+}
+
+// New builds a gossip engine bound to the node stack and a multicast
+// tree provider, registering the gossip packet handlers.
+func New(st *node.Stack, tree Tree, rng *sim.RNG, cfg Config) *Engine {
+	e := &Engine{
+		cfg:    cfg,
+		stack:  st,
+		sched:  st.Scheduler(),
+		rng:    rng,
+		tree:   tree,
+		groups: make(map[pkt.GroupID]*groupState),
+	}
+	st.Handle(pkt.KindGossipReq, e.onRequest)
+	st.Handle(pkt.KindGossipRep, e.onReply)
+	return e
+}
+
+// SetHopEstimator wires an optional unicast-route hop source.
+func (e *Engine) SetHopEstimator(h HopEstimator) { e.hops = h }
+
+// OnDeliver subscribes to unique data deliveries (tree and recovered).
+func (e *Engine) OnDeliver(fn DeliverFunc) { e.subs = append(e.subs, fn) }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// CachedMembers exposes the member cache contents for a group
+// (diagnostics and tests).
+func (e *Engine) CachedMembers(g pkt.GroupID) []pkt.NodeID {
+	gs, ok := e.groups[g]
+	if !ok {
+		return nil
+	}
+	return gs.cache.Members()
+}
+
+// Attach starts gossip rounds for a group this node is a member of.
+func (e *Engine) Attach(g pkt.GroupID) {
+	if _, ok := e.groups[g]; ok {
+		return
+	}
+	gs := &groupState{
+		id:       g,
+		expected: make(map[pkt.NodeID]uint32),
+		lost:     newLostTable(e.cfg.LostTableCap),
+		history:  newHistoryTable(e.cfg.HistoryCap),
+		cache:    newMemberCache(e.cfg.CacheCap),
+	}
+	e.groups[g] = gs
+	phase := e.cfg.Interval + e.rng.Duration(e.cfg.IntervalJitter)
+	gs.timer = e.sched.After(phase, func() { e.round(gs) })
+}
+
+// Detach stops gossip rounds for a group.
+func (e *Engine) Detach(g pkt.GroupID) {
+	gs, ok := e.groups[g]
+	if !ok {
+		return
+	}
+	if gs.timer != nil {
+		gs.timer.Cancel()
+	}
+	delete(e.groups, g)
+}
+
+// OnTreeData ingests a data packet delivered by the multicast protocol.
+// Wire it to maodv.Router.OnDeliver.
+func (e *Engine) OnTreeData(group pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+	gs, ok := e.groups[group]
+	if !ok {
+		return
+	}
+	e.ingest(gs, *d, false)
+}
+
+// OnLocalData records a packet this member originated, so its history
+// table can serve repairs for it.
+func (e *Engine) OnLocalData(group pkt.GroupID, d pkt.Data) {
+	gs, ok := e.groups[group]
+	if !ok {
+		return
+	}
+	gs.history.Add(d)
+	if next := d.Seq + 1; next > gs.expected[d.Origin] {
+		gs.expected[d.Origin] = next
+	}
+}
+
+// OnMemberEvidence feeds incidental member sightings into the member
+// cache. Wire it to maodv.Router.OnMemberEvidence.
+func (e *Engine) OnMemberEvidence(group pkt.GroupID, member pkt.NodeID, hops uint8) {
+	gs, ok := e.groups[group]
+	if !ok || member == e.stack.ID() {
+		return
+	}
+	gs.cache.Update(member, hops, e.sched.Now(), false)
+}
+
+// ingest is the single entry point for new data knowledge. It maintains
+// expected sequence numbers and the lost table exactly as paper §4.4
+// describes, and reports whether the packet was new.
+func (e *Engine) ingest(gs *groupState, d pkt.Data, recovered bool) bool {
+	key := d.Key()
+	exp, seen := gs.expected[d.Origin]
+	if !seen {
+		exp = 1 // sequence numbers start at 1; earlier packets were missed
+	}
+	switch {
+	case d.Seq >= exp:
+		// Everything between the expectation and this packet is now
+		// known-lost.
+		for s := exp; s < d.Seq; s++ {
+			gs.lost.Add(pkt.SeqKey{Origin: d.Origin, Seq: s})
+		}
+		gs.expected[d.Origin] = d.Seq + 1
+	case gs.lost.Contains(key):
+		gs.lost.Remove(key)
+	default:
+		return false // duplicate
+	}
+	gs.history.Add(d)
+	e.stats.Delivered++
+	for _, fn := range e.subs {
+		fn(gs.id, &d, recovered)
+	}
+	return true
+}
+
+// isDuplicate reports whether the member already holds the packet.
+func (e *Engine) isDuplicate(gs *groupState, key pkt.SeqKey) bool {
+	exp, seen := gs.expected[key.Origin]
+	if !seen {
+		return false
+	}
+	return key.Seq < exp && !gs.lost.Contains(key)
+}
+
+// --- rounds ---
+
+func (e *Engine) round(gs *groupState) {
+	defer func() {
+		gs.timer = e.sched.After(e.cfg.Interval, func() { e.round(gs) })
+	}()
+	if !e.tree.IsMember(gs.id) {
+		e.stats.RoundsSkipped++
+		return
+	}
+	req := e.buildRequest(gs)
+
+	// Paper §4.3: anonymous gossip with probability PAnon, cached gossip
+	// otherwise (falling back to anonymous when the cache is empty).
+	if !e.rng.Bool(e.cfg.PAnon) {
+		if m, ok := gs.cache.Pick(e.rng); ok {
+			req.Flags |= pkt.GossipCached
+			gs.cache.MarkGossiped(m.addr, e.sched.Now())
+			e.stats.RoundsCached++
+			p := pkt.NewPacket(e.stack.ID(), m.addr, req)
+			e.stack.SendUnicast(p)
+			return
+		}
+	}
+	// Anonymous walk: start at a weighted random tree neighbour.
+	next, ok := e.pickNextHop(gs.id, 0)
+	if !ok {
+		e.stats.RoundsSkipped++ // not attached to the tree right now
+		return
+	}
+	e.stats.RoundsAnon++
+	p := pkt.NewPacket(e.stack.ID(), next, req)
+	e.stack.SendDirect(next, p)
+}
+
+// buildRequest assembles the gossip message of paper §4.1: lost buffer
+// plus expected sequence numbers (pull), or the recent history (push
+// ablation).
+func (e *Engine) buildRequest(gs *groupState) *pkt.GossipReq {
+	if e.cfg.Mode == ModePush {
+		return &pkt.GossipReq{
+			Group:     gs.id,
+			Initiator: e.stack.ID(),
+			Flags:     pkt.GossipNoReply,
+			Pushed:    gs.history.Latest(e.cfg.MaxReplyMsgs),
+		}
+	}
+	req := &pkt.GossipReq{
+		Group:     gs.id,
+		Initiator: e.stack.ID(),
+		Lost:      gs.lost.Recent(e.cfg.LostBufferCap),
+	}
+	origins := make([]pkt.NodeID, 0, len(gs.expected))
+	for origin := range gs.expected {
+		origins = append(origins, origin)
+	}
+	slices.Sort(origins) // map order must not leak into the wire
+	for _, origin := range origins {
+		if len(req.Expected) >= e.cfg.ExpectedCap {
+			break
+		}
+		if origin == e.stack.ID() {
+			continue // nobody repairs our own transmissions to us
+		}
+		req.Expected = append(req.Expected, pkt.Expect{Origin: origin, NextSeq: gs.expected[origin]})
+	}
+	return req
+}
+
+// pickNextHop chooses a tree link, excluding a node, weighted toward
+// small nearest-member distances (paper §4.2). exclude 0 means none.
+func (e *Engine) pickNextHop(g pkt.GroupID, exclude pkt.NodeID) (pkt.NodeID, bool) {
+	hops := e.tree.NextHops(g)
+	cands := hops[:0:0]
+	for _, h := range hops {
+		if h.ID != exclude {
+			cands = append(cands, h)
+		}
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	if !e.cfg.LocalityBias {
+		return cands[e.rng.Intn(len(cands))].ID, true
+	}
+	// Weight 1/(1+d): branches with nearer members are preferred, but
+	// distant branches stay reachable — the paper wants gossip "locally
+	// with a very high probability and with distant nodes occasionally".
+	// Steeper weightings shorten walks further but over-concentrate
+	// recovery on members that share loss correlation with the
+	// initiator (see BenchmarkAblationLocality).
+	weights := make([]float64, len(cands))
+	for i, h := range cands {
+		d := float64(h.Nearest)
+		if h.Nearest == pkt.NearestUnknown {
+			d = 64 // effectively distant, still reachable
+		}
+		weights[i] = 1.0 / (1 + d)
+	}
+	idx := e.rng.WeightedIndex(weights)
+	if idx < 0 {
+		return 0, false
+	}
+	return cands[idx].ID, true
+}
+
+// --- request handling (walk + cached) ---
+
+func (e *Engine) onRequest(p *pkt.Packet, from pkt.NodeID) {
+	req, ok := p.Body.(*pkt.GossipReq)
+	if !ok {
+		return
+	}
+	if req.Cached() {
+		// Unicast straight to us: we are the cached member; always
+		// accept (paper §4.3).
+		e.accept(req)
+		return
+	}
+	// Anonymous walk (paper §4.1): members randomly accept or propagate;
+	// pure routers always propagate.
+	isMember := e.tree.IsMember(req.Group) && req.Initiator != e.stack.ID()
+	ttlExpired := int(req.HopsTraveled) >= e.cfg.WalkTTL
+	next, haveNext := e.pickNextHop(req.Group, from)
+
+	if isMember && (ttlExpired || !haveNext || e.rng.Bool(e.cfg.AcceptProb)) {
+		e.stats.WalksAccepted++
+		e.accept(req)
+		return
+	}
+	if !haveNext || ttlExpired {
+		e.stats.WalksDropped++
+		return
+	}
+	cp, okBody := req.CloneBody().(*pkt.GossipReq)
+	if !okBody {
+		return
+	}
+	cp.HopsTraveled++
+	e.stats.WalksForwarded++
+	e.stack.SendDirect(next, pkt.NewPacket(e.stack.ID(), next, cp))
+}
+
+// accept consumes an accepted gossip. Pull mode (the paper's §4.4)
+// builds and unicasts the reply: history lookups for the lost buffer,
+// then packets at or past the initiator's expectations, then (for empty
+// requests) the newest history as a bootstrap. Push mode just ingests
+// whatever the initiator sent along.
+func (e *Engine) accept(req *pkt.GossipReq) {
+	gs, ok := e.groups[req.Group]
+	if !ok {
+		return // not a member (e.g. stale cached-gossip target)
+	}
+	if len(req.Pushed) > 0 {
+		for i := range req.Pushed {
+			d := req.Pushed[i]
+			if e.isDuplicate(gs, d.Key()) {
+				e.stats.ReplyMsgsDup++
+				continue
+			}
+			if e.ingest(gs, d, true) {
+				e.stats.ReplyMsgsNew++
+			} else {
+				e.stats.ReplyMsgsDup++
+			}
+		}
+	}
+	// The initiator is a member we now know about (paper §4.3).
+	hops := req.HopsTraveled
+	if e.hops != nil {
+		if h, have := e.hops(req.Initiator); have {
+			hops = h
+		}
+	}
+	gs.cache.Update(req.Initiator, hops, e.sched.Now(), true)
+	if req.NoReply() {
+		return
+	}
+	rep := &pkt.GossipRep{
+		Group:     req.Group,
+		Responder: e.stack.ID(),
+		WalkHops:  req.HopsTraveled,
+	}
+	seen := make(map[pkt.SeqKey]struct{}, e.cfg.MaxReplyMsgs)
+	add := func(d pkt.Data) bool {
+		if len(rep.Msgs) >= e.cfg.MaxReplyMsgs {
+			return false
+		}
+		if _, dup := seen[d.Key()]; dup {
+			return true
+		}
+		seen[d.Key()] = struct{}{}
+		rep.Msgs = append(rep.Msgs, d)
+		return true
+	}
+	for _, k := range req.Lost {
+		if d, have := gs.history.Get(k); have {
+			if !add(d) {
+				break
+			}
+		}
+	}
+	for _, ex := range req.Expected {
+		for _, d := range gs.history.Since(ex.Origin, ex.NextSeq, e.cfg.MaxReplyMsgs) {
+			if !add(d) {
+				break
+			}
+		}
+	}
+	if len(req.Lost) == 0 && len(req.Expected) == 0 {
+		for _, d := range gs.history.Latest(e.cfg.MaxReplyMsgs) {
+			if !add(d) {
+				break
+			}
+		}
+	}
+
+	e.stats.RepliesSent++
+	e.stats.ReplyMsgsSent += uint64(len(rep.Msgs))
+	e.stack.SendUnicast(pkt.NewPacket(e.stack.ID(), req.Initiator, rep))
+}
+
+// --- reply handling ---
+
+func (e *Engine) onReply(p *pkt.Packet, from pkt.NodeID) {
+	rep, ok := p.Body.(*pkt.GossipRep)
+	if !ok {
+		return
+	}
+	gs, have := e.groups[rep.Group]
+	if !have {
+		return
+	}
+	e.stats.RepliesReceived++
+	for i := range rep.Msgs {
+		d := rep.Msgs[i]
+		if e.isDuplicate(gs, d.Key()) {
+			e.stats.ReplyMsgsDup++
+			continue
+		}
+		if e.ingest(gs, d, true) {
+			e.stats.ReplyMsgsNew++
+		} else {
+			e.stats.ReplyMsgsDup++
+		}
+	}
+	// Responder is a member: refresh the cache (paper §4.3).
+	hops := rep.WalkHops
+	if e.hops != nil {
+		if h, have := e.hops(rep.Responder); have {
+			hops = h
+		}
+	}
+	gs.cache.Update(rep.Responder, hops, e.sched.Now(), true)
+}

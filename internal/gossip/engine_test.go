@@ -1,0 +1,435 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"anongossip/internal/aodv"
+	"anongossip/internal/geom"
+	"anongossip/internal/mac"
+	"anongossip/internal/mobility"
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+const testGroup pkt.GroupID = 0xE0000001
+
+// fakeTree is a static per-node tree view, demonstrating that the engine
+// only needs the Tree interface (protocol independence, paper §5.5).
+type fakeTree struct {
+	member bool
+	hops   []NextHop
+}
+
+func (f *fakeTree) NextHops(pkt.GroupID) []NextHop { return f.hops }
+func (f *fakeTree) IsMember(pkt.GroupID) bool      { return f.member }
+
+type gworld struct {
+	sched   *sim.Scheduler
+	stacks  []*node.Stack
+	trees   []*fakeTree
+	engines []*Engine
+}
+
+// buildLine wires n nodes 50 m apart (range 60) with real stacks, MAC and
+// AODV, a synthetic line tree, and a gossip engine everywhere. members
+// lists node indices that are group members.
+func buildLine(t *testing.T, n int, members []int, cfg Config) *gworld {
+	t.Helper()
+	w := &gworld{sched: sim.NewScheduler()}
+	medium := radio.NewMedium(w.sched, radio.Params{Range: 60})
+	rng := sim.NewRNG(2024)
+	isMember := map[int]bool{}
+	for _, m := range members {
+		isMember[m] = true
+	}
+	for i := 0; i < n; i++ {
+		id := pkt.NodeID(i + 1)
+		st := node.New(w.sched, rng.Derive("n/"+id.String()), medium, id,
+			mobility.Static{P: geom.Point{X: float64(i) * 50}}, mac.DefaultConfig())
+		uni := aodv.New(st, rng.Derive("a/"+id.String()), aodv.DefaultConfig())
+		uni.Start()
+
+		ft := &fakeTree{member: isMember[i]}
+		if i > 0 {
+			ft.hops = append(ft.hops, NextHop{ID: pkt.NodeID(i), Nearest: pkt.NearestUnknown})
+		}
+		if i < n-1 {
+			ft.hops = append(ft.hops, NextHop{ID: pkt.NodeID(i + 2), Nearest: pkt.NearestUnknown})
+		}
+		eng := New(st, ft, rng.Derive("g/"+id.String()), cfg)
+		eng.SetHopEstimator(uni.RouteHops)
+		if isMember[i] {
+			eng.Attach(testGroup)
+		}
+		w.stacks = append(w.stacks, st)
+		w.trees = append(w.trees, ft)
+		w.engines = append(w.engines, eng)
+	}
+	return w
+}
+
+// feed ingests a contiguous range of tree-delivered packets, skipping
+// the listed sequence numbers.
+func feed(e *Engine, origin pkt.NodeID, from, to uint32, skip ...uint32) {
+	skipSet := map[uint32]bool{}
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	for s := from; s <= to; s++ {
+		if skipSet[s] {
+			continue
+		}
+		d := pkt.Data{Group: testGroup, Origin: origin, Seq: s, PayloadLen: 64}
+		e.OnTreeData(testGroup, &d, 0)
+	}
+}
+
+func TestWalkRecoversLostPackets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1 // anonymous walks only
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	// Member 4 (index 3) has the full stream; member 1 missed 5..8.
+	w.sched.After(0, func() {
+		feed(w.engines[3], 9, 1, 20)
+		feed(w.engines[0], 9, 1, 20, 5, 6, 7, 8)
+	})
+	w.sched.Run(30 * time.Second)
+
+	st := w.engines[0].Stats()
+	if st.ReplyMsgsNew != 4 {
+		t.Fatalf("recovered %d packets, want 4 (stats %+v)", st.ReplyMsgsNew, st)
+	}
+	// The lost table must be clean again.
+	gs := w.engines[0].groups[testGroup]
+	if gs.lost.Len() != 0 {
+		t.Fatalf("lost table still has %d entries", gs.lost.Len())
+	}
+	if st.RoundsAnon == 0 {
+		t.Fatal("no anonymous rounds ran")
+	}
+	// Routers forwarded walks.
+	if w.engines[1].Stats().WalksForwarded == 0 {
+		t.Fatal("interior router never forwarded a walk")
+	}
+}
+
+func TestExpectedSequenceRecoversUnknownLosses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	// Member 1 received only 1..10 and does not know 11..20 exist.
+	w.sched.After(0, func() {
+		feed(w.engines[3], 9, 1, 20)
+		feed(w.engines[0], 9, 1, 10)
+	})
+	w.sched.Run(40 * time.Second)
+
+	gs := w.engines[0].groups[testGroup]
+	if exp := gs.expected[9]; exp != 21 {
+		t.Fatalf("expected seq = %d, want 21 (stats %+v)", exp, w.engines[0].Stats())
+	}
+	if got := w.engines[0].Stats().ReplyMsgsNew; got != 10 {
+		t.Fatalf("recovered %d, want 10", got)
+	}
+}
+
+func TestEmptyRequestBootstrapsNewMember(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	// Member 1 has nothing at all; member 4 holds 11..20 in history.
+	w.sched.After(0, func() { feed(w.engines[3], 9, 11, 20) })
+	w.sched.Run(30 * time.Second)
+
+	st := w.engines[0].Stats()
+	if st.ReplyMsgsNew == 0 {
+		t.Fatalf("bootstrap recovered nothing: %+v", st)
+	}
+	gs := w.engines[0].groups[testGroup]
+	if gs.history.Len() == 0 {
+		t.Fatal("history still empty after bootstrap")
+	}
+}
+
+func TestCachedGossip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 0 // cached gossip whenever possible
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	w.sched.After(0, func() {
+		feed(w.engines[3], 9, 1, 20)
+		feed(w.engines[0], 9, 1, 20, 5, 6)
+		// Seed member 1's cache with member 4 (as join replies would).
+		w.engines[0].OnMemberEvidence(testGroup, 4, 3)
+	})
+	w.sched.Run(30 * time.Second)
+
+	st := w.engines[0].Stats()
+	if st.RoundsCached == 0 {
+		t.Fatalf("no cached rounds despite seeded cache: %+v", st)
+	}
+	if st.ReplyMsgsNew != 2 {
+		t.Fatalf("recovered %d, want 2", st.ReplyMsgsNew)
+	}
+}
+
+func TestCachedGossipFallsBackToWalk(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 0 // always prefer cached — but the cache stays empty
+	// A single member: no replies ever arrive, so the cache never fills
+	// and every round must fall back to an anonymous walk.
+	w := buildLine(t, 3, []int{0}, cfg)
+	w.sched.After(0, func() { feed(w.engines[0], 9, 1, 10, 4) })
+	w.sched.Run(20 * time.Second)
+
+	st := w.engines[0].Stats()
+	if st.RoundsAnon == 0 {
+		t.Fatalf("empty cache did not fall back to anonymous walk: %+v", st)
+	}
+	if st.RoundsCached != 0 {
+		t.Fatalf("cached rounds with an empty cache: %+v", st)
+	}
+}
+
+func TestReplyUpdatesMemberCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+	w.sched.After(0, func() {
+		feed(w.engines[3], 9, 1, 10)
+		feed(w.engines[0], 9, 1, 10, 4)
+	})
+	w.sched.Run(20 * time.Second)
+
+	found := false
+	for _, m := range w.engines[0].CachedMembers(testGroup) {
+		if m == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("responder not cached: %v", w.engines[0].CachedMembers(testGroup))
+	}
+	// And symmetrically, the responder learned the initiator.
+	found = false
+	for _, m := range w.engines[3].CachedMembers(testGroup) {
+		if m == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("initiator not cached by responder: %v", w.engines[3].CachedMembers(testGroup))
+	}
+}
+
+func TestWalkDropsAtTTL(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	cfg.WalkTTL = 2
+	// Only one member: walks have nowhere to be accepted and must die at
+	// the TTL, not run forever.
+	w := buildLine(t, 5, []int{0}, cfg)
+	w.sched.After(0, func() { feed(w.engines[0], 9, 1, 5, 3) })
+	w.sched.Run(10 * time.Second)
+
+	dropped := uint64(0)
+	for _, e := range w.engines {
+		dropped += e.Stats().WalksDropped
+	}
+	if dropped == 0 {
+		t.Fatal("no walk was dropped at TTL")
+	}
+	total := uint64(0)
+	for _, e := range w.engines {
+		total += e.Stats().WalksForwarded
+	}
+	rounds := w.engines[0].Stats().RoundsAnon
+	if total > rounds*uint64(cfg.WalkTTL) {
+		t.Fatalf("forwards %d exceed rounds %d * TTL %d", total, rounds, cfg.WalkTTL)
+	}
+}
+
+func TestGoodputAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 2, []int{0}, cfg)
+	e := w.engines[0]
+	w.sched.After(0, func() { feed(e, 9, 1, 10) })
+	w.sched.Run(time.Second)
+
+	// Craft a reply containing 2 new + 3 duplicate messages.
+	rep := &pkt.GossipRep{Group: testGroup, Responder: 2, WalkHops: 1}
+	for _, s := range []uint32{8, 9, 10, 11, 12} {
+		rep.Msgs = append(rep.Msgs, pkt.Data{Group: testGroup, Origin: 9, Seq: s, PayloadLen: 64})
+	}
+	e.onReply(pkt.NewPacket(2, 1, rep), 2)
+
+	st := e.Stats()
+	if st.ReplyMsgsNew != 2 || st.ReplyMsgsDup != 3 {
+		t.Fatalf("new/dup = %d/%d, want 2/3", st.ReplyMsgsNew, st.ReplyMsgsDup)
+	}
+	if g := st.Goodput(); g != 40 {
+		t.Fatalf("Goodput = %v, want 40", g)
+	}
+}
+
+func TestGoodputDefaultsTo100(t *testing.T) {
+	var s Stats
+	if s.Goodput() != 100 {
+		t.Fatalf("zero-traffic goodput = %v, want 100", s.Goodput())
+	}
+}
+
+func TestIngestOutOfOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 1, []int{0}, cfg)
+	e := w.engines[0]
+	gs := e.groups[testGroup]
+
+	d3 := pkt.Data{Group: testGroup, Origin: 9, Seq: 3}
+	d1 := pkt.Data{Group: testGroup, Origin: 9, Seq: 1}
+	d2 := pkt.Data{Group: testGroup, Origin: 9, Seq: 2}
+
+	if !e.ingest(gs, d3, false) {
+		t.Fatal("first packet rejected")
+	}
+	if gs.lost.Len() != 2 {
+		t.Fatalf("lost entries = %d, want 2", gs.lost.Len())
+	}
+	if !e.ingest(gs, d1, false) || !e.ingest(gs, d2, false) {
+		t.Fatal("recovery of known-lost packets rejected")
+	}
+	if gs.lost.Len() != 0 {
+		t.Fatal("lost table not drained")
+	}
+	if e.ingest(gs, d2, false) {
+		t.Fatal("duplicate accepted")
+	}
+	if gs.expected[9] != 4 {
+		t.Fatalf("expected = %d, want 4", gs.expected[9])
+	}
+}
+
+func TestIsDuplicate(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 1, []int{0}, cfg)
+	e := w.engines[0]
+	gs := e.groups[testGroup]
+	feed(e, 9, 1, 10, 5)
+
+	if !e.isDuplicate(gs, pkt.SeqKey{Origin: 9, Seq: 3}) {
+		t.Fatal("received packet not flagged duplicate")
+	}
+	if e.isDuplicate(gs, pkt.SeqKey{Origin: 9, Seq: 5}) {
+		t.Fatal("known-lost packet flagged duplicate")
+	}
+	if e.isDuplicate(gs, pkt.SeqKey{Origin: 9, Seq: 11}) {
+		t.Fatal("future packet flagged duplicate")
+	}
+	if e.isDuplicate(gs, pkt.SeqKey{Origin: 8, Seq: 1}) {
+		t.Fatal("unknown-origin packet flagged duplicate")
+	}
+}
+
+func TestPickNextHopLocalityBias(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 1, []int{0}, cfg)
+	e := w.engines[0]
+	w.trees[0].hops = []NextHop{
+		{ID: 10, Nearest: 1},
+		{ID: 20, Nearest: 7},
+	}
+	counts := map[pkt.NodeID]int{}
+	for i := 0; i < 20000; i++ {
+		id, ok := e.pickNextHop(testGroup, 0)
+		if !ok {
+			t.Fatal("pickNextHop failed")
+		}
+		counts[id]++
+	}
+	// Weights 1/(1+d): 1/2 vs 1/8 -> ratio 4:1.
+	ratio := float64(counts[10]) / float64(counts[20])
+	if ratio < 3.2 || ratio > 5 {
+		t.Fatalf("close/far ratio = %.1f (counts %v), want ~4", ratio, counts)
+	}
+}
+
+func TestPickNextHopUniformWithoutBias(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LocalityBias = false
+	w := buildLine(t, 1, []int{0}, cfg)
+	e := w.engines[0]
+	w.trees[0].hops = []NextHop{
+		{ID: 10, Nearest: 1},
+		{ID: 20, Nearest: 7},
+	}
+	counts := map[pkt.NodeID]int{}
+	for i := 0; i < 20000; i++ {
+		id, _ := e.pickNextHop(testGroup, 0)
+		counts[id]++
+	}
+	ratio := float64(counts[10]) / float64(counts[20])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("unbiased ratio = %.2f, want ~1", ratio)
+	}
+}
+
+func TestPickNextHopExcludes(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 1, []int{0}, cfg)
+	e := w.engines[0]
+	w.trees[0].hops = []NextHop{{ID: 10, Nearest: 1}}
+	if _, ok := e.pickNextHop(testGroup, 10); ok {
+		t.Fatal("pickNextHop returned the excluded hop")
+	}
+}
+
+func TestDetachStopsRounds(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 2, []int{0, 1}, cfg)
+	w.sched.Run(5 * time.Second)
+	before := w.engines[0].Stats()
+	w.engines[0].Detach(testGroup)
+	w.sched.Run(15 * time.Second)
+	after := w.engines[0].Stats()
+	if after.RoundsAnon+after.RoundsCached+after.RoundsSkipped !=
+		before.RoundsAnon+before.RoundsCached+before.RoundsSkipped {
+		t.Fatal("rounds continued after Detach")
+	}
+}
+
+func TestRoundSkippedWhenNotMember(t *testing.T) {
+	cfg := DefaultConfig()
+	w := buildLine(t, 2, []int{0}, cfg)
+	// Attach the engine but revoke tree membership: rounds must skip.
+	w.trees[0].member = false
+	w.sched.Run(5 * time.Second)
+	st := w.engines[0].Stats()
+	if st.RoundsSkipped == 0 || st.RoundsAnon != 0 {
+		t.Fatalf("non-member rounds = %+v, want only skips", st)
+	}
+}
+
+func TestOnLocalDataServesRepairs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	w := buildLine(t, 3, []int{0, 2}, cfg)
+
+	// Member 1 is the source: it records its own sends; member 3 missed
+	// everything and recovers from the source's history via walks.
+	w.sched.After(0, func() {
+		for s := uint32(1); s <= 5; s++ {
+			w.engines[0].OnLocalData(testGroup, pkt.Data{Group: testGroup, Origin: 1, Seq: s, PayloadLen: 64})
+		}
+	})
+	w.sched.Run(30 * time.Second)
+
+	if got := w.engines[2].Stats().ReplyMsgsNew; got != 5 {
+		t.Fatalf("member 3 recovered %d own-source packets, want 5", got)
+	}
+}

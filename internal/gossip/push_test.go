@@ -1,0 +1,74 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+)
+
+// Push-mode tests: the §4.4 alternative the paper rejects, kept for the
+// ablation benchmarks.
+
+func TestPushModeDisseminates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	cfg.Mode = ModePush
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	// Member 1 holds the stream; member 4 has nothing. In push mode the
+	// holder's rounds spray its history toward whoever accepts the walk.
+	w.sched.After(0, func() { feed(w.engines[0], 9, 1, 10) })
+	w.sched.Run(30 * time.Second)
+
+	// Member 4 accepted pushes and ingested the data.
+	if got := w.engines[3].Stats().ReplyMsgsNew; got == 0 {
+		t.Fatalf("push mode delivered nothing: %+v", w.engines[3].Stats())
+	}
+	// Nobody sent pull replies.
+	if w.engines[0].Stats().RepliesSent+w.engines[3].Stats().RepliesSent != 0 {
+		t.Fatal("push-mode round triggered a pull reply")
+	}
+}
+
+func TestPushModeRedundancy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1
+	cfg.Mode = ModePush
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	// Both members already hold the full stream: every pushed message is
+	// redundant, so goodput collapses — the paper's §4.4 argument for
+	// pull in one number.
+	w.sched.After(0, func() {
+		feed(w.engines[0], 9, 1, 10)
+		feed(w.engines[3], 9, 1, 10)
+	})
+	w.sched.Run(30 * time.Second)
+
+	dups := w.engines[0].Stats().ReplyMsgsDup + w.engines[3].Stats().ReplyMsgsDup
+	if dups == 0 {
+		t.Fatal("no redundant pushes recorded between synchronised members")
+	}
+	news := w.engines[0].Stats().ReplyMsgsNew + w.engines[3].Stats().ReplyMsgsNew
+	if news != 0 {
+		t.Fatalf("synchronised members recovered %d 'new' messages", news)
+	}
+}
+
+func TestPullModeSuppressesRedundancy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PAnon = 1 // pull (default mode)
+	w := buildLine(t, 4, []int{0, 3}, cfg)
+
+	w.sched.After(0, func() {
+		feed(w.engines[0], 9, 1, 10)
+		feed(w.engines[3], 9, 1, 10)
+	})
+	w.sched.Run(30 * time.Second)
+
+	// Synchronised members have empty lost buffers and matching
+	// expectations: pull replies stay empty, so no duplicates flow.
+	dups := w.engines[0].Stats().ReplyMsgsDup + w.engines[3].Stats().ReplyMsgsDup
+	if dups != 0 {
+		t.Fatalf("pull mode shipped %d redundant messages", dups)
+	}
+}

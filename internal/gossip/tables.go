@@ -1,0 +1,265 @@
+package gossip
+
+import (
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// lostTable holds the sequence numbers of messages a member believes it
+// has lost (paper §4.4), bounded in size with oldest-first eviction.
+// Insertion order is preserved so the most recent entries can populate
+// the gossip message's lost buffer.
+type lostTable struct {
+	cap   int
+	keys  []pkt.SeqKey
+	index map[pkt.SeqKey]struct{}
+}
+
+func newLostTable(capacity int) *lostTable {
+	return &lostTable{cap: capacity, index: make(map[pkt.SeqKey]struct{}, capacity)}
+}
+
+func (t *lostTable) Len() int { return len(t.keys) }
+
+func (t *lostTable) Contains(k pkt.SeqKey) bool {
+	_, ok := t.index[k]
+	return ok
+}
+
+// Add records a missing message. When full, the oldest entry is evicted:
+// old losses are the least likely to still be recoverable from bounded
+// history tables.
+func (t *lostTable) Add(k pkt.SeqKey) {
+	if t.cap <= 0 || t.Contains(k) {
+		return
+	}
+	if len(t.keys) >= t.cap {
+		old := t.keys[0]
+		t.keys = t.keys[1:]
+		delete(t.index, old)
+	}
+	t.keys = append(t.keys, k)
+	t.index[k] = struct{}{}
+}
+
+// Remove drops a recovered message.
+func (t *lostTable) Remove(k pkt.SeqKey) {
+	if !t.Contains(k) {
+		return
+	}
+	delete(t.index, k)
+	for i := range t.keys {
+		if t.keys[i] == k {
+			t.keys = append(t.keys[:i], t.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+// Recent returns up to n of the most recently added entries, newest
+// first (paper §4.4: "the most recent entries of the lost table are
+// placed in a lost buffer").
+func (t *lostTable) Recent(n int) []pkt.SeqKey {
+	if n > len(t.keys) {
+		n = len(t.keys)
+	}
+	out := make([]pkt.SeqKey, 0, n)
+	for i := len(t.keys) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, t.keys[i])
+	}
+	return out
+}
+
+// historyTable is the bounded FIFO buffer of the most recent messages
+// received (paper §4.4), used to answer gossip requests.
+type historyTable struct {
+	cap   int
+	ring  []pkt.Data
+	next  int
+	index map[pkt.SeqKey]int // key -> ring position
+}
+
+func newHistoryTable(capacity int) *historyTable {
+	return &historyTable{cap: capacity, index: make(map[pkt.SeqKey]int, capacity)}
+}
+
+func (h *historyTable) Len() int { return len(h.ring) }
+
+// Add stores a received message, evicting the oldest when full.
+func (h *historyTable) Add(d pkt.Data) {
+	k := d.Key()
+	if h.cap <= 0 {
+		return
+	}
+	if pos, dup := h.index[k]; dup {
+		h.ring[pos] = d
+		return
+	}
+	if len(h.ring) < h.cap {
+		h.index[k] = len(h.ring)
+		h.ring = append(h.ring, d)
+		return
+	}
+	old := h.ring[h.next].Key()
+	delete(h.index, old)
+	h.ring[h.next] = d
+	h.index[k] = h.next
+	h.next = (h.next + 1) % h.cap
+}
+
+// Get looks a message up by identity.
+func (h *historyTable) Get(k pkt.SeqKey) (pkt.Data, bool) {
+	pos, ok := h.index[k]
+	if !ok {
+		return pkt.Data{}, false
+	}
+	return h.ring[pos], true
+}
+
+// Since returns up to max messages from origin with sequence >= from,
+// in ascending sequence order. It serves the "expected sequence number"
+// part of a gossip request: packets the initiator does not yet know it
+// missed.
+func (h *historyTable) Since(origin pkt.NodeID, from uint32, max int) []pkt.Data {
+	var out []pkt.Data
+	for i := range h.ring {
+		d := h.ring[i]
+		if d.Origin == origin && d.Seq >= from {
+			out = append(out, d)
+		}
+	}
+	sortDataBySeq(out)
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Latest returns up to max of the most recently added messages (newest
+// last). It serves empty gossip requests from members that have not yet
+// received anything.
+func (h *historyTable) Latest(max int) []pkt.Data {
+	n := len(h.ring)
+	if max > n {
+		max = n
+	}
+	out := make([]pkt.Data, 0, max)
+	// Ring order: h.next is the oldest slot once the ring is full.
+	start := 0
+	if n == h.cap {
+		start = h.next
+	}
+	for i := n - max; i < n; i++ {
+		out = append(out, h.ring[(start+i)%n])
+	}
+	return out
+}
+
+func sortDataBySeq(ds []pkt.Data) {
+	// Insertion sort: slices are at most MaxReplyMsgs + history scans.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Seq < ds[j-1].Seq; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// cacheEntry is one member cache row: (node_addr, numhops, last_gossip)
+// per paper §4.3.
+type cacheEntry struct {
+	addr       pkt.NodeID
+	numHops    uint8
+	lastGossip sim.Time
+	hasGossip  bool
+}
+
+// memberCache is the bounded cache of known group members used for
+// cached gossip (paper §4.3). Eviction follows the paper: replace an
+// entry with strictly greater hop distance; otherwise replace the entry
+// with the most recent last_gossip time, "to avoid frequent gossips with
+// the same members".
+type memberCache struct {
+	cap     int
+	entries []cacheEntry
+}
+
+func newMemberCache(capacity int) *memberCache {
+	return &memberCache{cap: capacity}
+}
+
+func (c *memberCache) Len() int { return len(c.entries) }
+
+// Members returns the cached member addresses (for diagnostics/tests).
+func (c *memberCache) Members() []pkt.NodeID {
+	out := make([]pkt.NodeID, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = e.addr
+	}
+	return out
+}
+
+// Update inserts or refreshes knowledge about a member. numHops may be
+// pkt.NearestUnknown when the distance is not known; known distances
+// overwrite unknown ones. gossiped marks an actual gossip exchange,
+// updating last_gossip.
+func (c *memberCache) Update(addr pkt.NodeID, numHops uint8, now sim.Time, gossiped bool) {
+	for i := range c.entries {
+		if c.entries[i].addr != addr {
+			continue
+		}
+		if numHops != pkt.NearestUnknown {
+			c.entries[i].numHops = numHops
+		}
+		if gossiped {
+			c.entries[i].lastGossip = now
+			c.entries[i].hasGossip = true
+		}
+		return
+	}
+	e := cacheEntry{addr: addr, numHops: numHops, lastGossip: now, hasGossip: gossiped}
+	if len(c.entries) < c.cap {
+		c.entries = append(c.entries, e)
+		return
+	}
+	if c.cap == 0 {
+		return
+	}
+	// Eviction rule 1: any member with strictly greater numhops.
+	worst, worstHops := -1, numHops
+	for i := range c.entries {
+		if c.entries[i].numHops > worstHops {
+			worst, worstHops = i, c.entries[i].numHops
+		}
+	}
+	if worst >= 0 {
+		c.entries[worst] = e
+		return
+	}
+	// Eviction rule 2: the most recently gossiped entry.
+	recent := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].lastGossip > c.entries[recent].lastGossip {
+			recent = i
+		}
+	}
+	c.entries[recent] = e
+}
+
+// MarkGossiped refreshes last_gossip for addr.
+func (c *memberCache) MarkGossiped(addr pkt.NodeID, now sim.Time) {
+	for i := range c.entries {
+		if c.entries[i].addr == addr {
+			c.entries[i].lastGossip = now
+			c.entries[i].hasGossip = true
+			return
+		}
+	}
+}
+
+// Pick returns a uniformly random cached member.
+func (c *memberCache) Pick(rng *sim.RNG) (cacheEntry, bool) {
+	if len(c.entries) == 0 {
+		return cacheEntry{}, false
+	}
+	return c.entries[rng.Intn(len(c.entries))], true
+}

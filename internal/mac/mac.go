@@ -1,0 +1,514 @@
+// Package mac implements a simplified IEEE 802.11 DCF MAC on top of the
+// radio medium, matching the paper's simulation environment ("the MAC
+// layer protocol used was IEEE 802.11 and the bandwidth of the wireless
+// medium was assumed to be 2 Mbps").
+//
+// The model keeps the DCF behaviours the paper's loss processes depend on
+// and omits the rest:
+//
+//   - physical carrier sense with DIFS deferral and slotted binary
+//     exponential backoff (CWmin 31 .. CWmax 1023);
+//   - unicast frames are acknowledged after SIFS and retransmitted up to
+//     RetryLimit times; exhaustion is reported to the network layer, which
+//     is how AODV/MAODV detect broken links;
+//   - broadcast frames are sent once, unacknowledged — the fundamental
+//     unreliability that costs MAODV tree forwarding its packets;
+//   - receiver-side duplicate filtering for retransmitted unicast frames;
+//   - optional RTS/CTS with NAV (virtual carrier sense) above a
+//     configurable threshold. The paper's configuration runs without it
+//     (64-byte payloads sit far below the usual threshold); the ablation
+//     benchmarks measure what the handshake would change.
+package mac
+
+import (
+	"time"
+
+	"anongossip/internal/mobility"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+// Config holds the DCF parameters. Defaults follow 802.11 DSSS at 2 Mbps.
+type Config struct {
+	// BitRate is the channel rate in bits/s.
+	BitRate float64
+	// SlotTime, SIFS and DIFS are the 802.11 interframe timings.
+	SlotTime time.Duration
+	SIFS     time.Duration
+	DIFS     time.Duration
+	// CWMin and CWMax bound the contention window (in slots).
+	CWMin int
+	CWMax int
+	// RetryLimit is the maximum number of retransmissions for a unicast
+	// frame before the MAC reports failure.
+	RetryLimit int
+	// PhyOverhead is the preamble+PLCP header time prefixed to every
+	// frame.
+	PhyOverhead time.Duration
+	// HeaderBytes is the MAC header+FCS size added to every data frame.
+	HeaderBytes int
+	// AckBytes is the size of an ACK control frame.
+	AckBytes int
+	// QueueCap bounds the transmit queue; excess frames are dropped.
+	QueueCap int
+	// RTSThreshold enables RTS/CTS for unicast frames whose MAC-level
+	// size exceeds it. RTSThresholdOff disables the exchange (the
+	// paper's 64-byte payloads sit below any realistic threshold).
+	RTSThreshold int
+	// RTSBytes and CTSBytes size the control frames.
+	RTSBytes int
+	CTSBytes int
+}
+
+// RTSThresholdOff disables RTS/CTS (the 802.11 "dot11RTSThreshold off"
+// convention).
+const RTSThresholdOff = 1 << 16
+
+// DefaultConfig returns 802.11 DSSS parameters at the paper's 2 Mbps.
+func DefaultConfig() Config {
+	return Config{
+		BitRate:      2e6,
+		SlotTime:     20 * time.Microsecond,
+		SIFS:         10 * time.Microsecond,
+		DIFS:         50 * time.Microsecond,
+		CWMin:        31,
+		CWMax:        1023,
+		RetryLimit:   7,
+		PhyOverhead:  192 * time.Microsecond,
+		HeaderBytes:  28,
+		AckBytes:     14,
+		QueueCap:     100,
+		RTSThreshold: RTSThresholdOff,
+		RTSBytes:     20,
+		CTSBytes:     14,
+	}
+}
+
+// frameKind discriminates MAC frames.
+type frameKind uint8
+
+const (
+	frameData frameKind = iota + 1
+	frameAck
+	frameRTS
+	frameCTS
+)
+
+// frame is the MAC PDU exchanged over the radio.
+type frame struct {
+	kind    frameKind
+	src     pkt.NodeID
+	dst     pkt.NodeID
+	seq     uint16
+	payload *pkt.Packet // nil for control frames
+	// nav is the 802.11 duration field: how long the exchange occupies
+	// the channel after this frame ends. Overhearers defer (virtual
+	// carrier sense).
+	nav sim.Time
+}
+
+// Stats aggregates per-node MAC counters.
+type Stats struct {
+	// UnicastSent and BroadcastSent count first transmissions (not
+	// retries).
+	UnicastSent   uint64
+	BroadcastSent uint64
+	// Retries counts retransmission attempts.
+	Retries uint64
+	// Failures counts unicast frames dropped after RetryLimit.
+	Failures uint64
+	// QueueDrops counts frames rejected because the queue was full.
+	QueueDrops uint64
+	// AcksSent counts acknowledgements transmitted.
+	AcksSent uint64
+	// DupsFiltered counts retransmitted unicast frames suppressed by the
+	// receiver-side duplicate filter.
+	DupsFiltered uint64
+	// Delivered counts frames handed up to the network layer.
+	Delivered uint64
+	// BytesSent counts all transmitted bytes including MAC framing.
+	BytesSent uint64
+	// RTSSent and CTSSent count RTS/CTS control frames.
+	RTSSent uint64
+	CTSSent uint64
+}
+
+// Callbacks connects the MAC to the network layer.
+type Callbacks struct {
+	// OnReceive delivers a received packet. from is the transmitting
+	// neighbour (the previous hop, not the network-layer source).
+	// broadcast reports whether the frame was link-layer broadcast.
+	OnReceive func(p *pkt.Packet, from pkt.NodeID, broadcast bool)
+	// OnSendDone reports the fate of a queued packet: ok is true when the
+	// frame was acknowledged (or broadcast and therefore fire-and-forget),
+	// false when the retry limit was exhausted. Routing layers use
+	// failures as link-break indications.
+	OnSendDone func(p *pkt.Packet, to pkt.NodeID, ok bool)
+}
+
+// outgoing is one queued network packet with its MAC bookkeeping.
+type outgoing struct {
+	frm     frame
+	attempt int
+	cw      int
+}
+
+// DCF is one node's MAC entity.
+type DCF struct {
+	id    pkt.NodeID
+	cfg   Config
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	tr    *radio.Transceiver
+	cb    Callbacks
+
+	queue    []*outgoing
+	inflight *outgoing
+	// busy is true from the moment a frame reaches the head of the queue
+	// until its final success/failure, covering defer, backoff, airtime
+	// and ACK wait.
+	busy bool
+
+	nextSeq  uint16
+	ackTimer *sim.Timer
+	ctsTimer *sim.Timer
+	// navUntil is the virtual carrier-sense deadline learned from
+	// overheard RTS/CTS duration fields.
+	navUntil sim.Time
+	// lastSeq filters duplicate unicast frames per sender.
+	lastSeq map[pkt.NodeID]uint16
+
+	stats Stats
+}
+
+// New attaches a MAC entity for node id to the medium. pos supplies the
+// node's mobility model to the radio layer.
+func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID,
+	pos mobility.Model, cfg Config, cb Callbacks) *DCF {
+	d := &DCF{
+		id:      id,
+		cfg:     cfg,
+		sched:   sched,
+		rng:     rng,
+		cb:      cb,
+		lastSeq: make(map[pkt.NodeID]uint16),
+	}
+	d.tr = medium.Attach(id, pos, d.onRadio)
+	return d
+}
+
+// ID returns the node ID.
+func (d *DCF) ID() pkt.NodeID { return d.id }
+
+// Stats returns a copy of the MAC counters.
+func (d *DCF) Stats() Stats { return d.stats }
+
+// QueueLen returns the number of frames waiting (excluding in-flight).
+func (d *DCF) QueueLen() int { return len(d.queue) }
+
+// airtime returns the channel occupancy of a data frame carrying
+// payloadBytes of network-layer payload.
+func (d *DCF) airtime(payloadBytes int) sim.Time {
+	bits := float64((d.cfg.HeaderBytes + payloadBytes) * 8)
+	return d.cfg.PhyOverhead + time.Duration(bits/d.cfg.BitRate*float64(time.Second))
+}
+
+func (d *DCF) ackAirtime() sim.Time {
+	return d.ctlAirtime(d.cfg.AckBytes)
+}
+
+func (d *DCF) ctlAirtime(bytes int) sim.Time {
+	bits := float64(bytes * 8)
+	return d.cfg.PhyOverhead + time.Duration(bits/d.cfg.BitRate*float64(time.Second))
+}
+
+// effectiveBusyUntil combines physical and virtual (NAV) carrier sense.
+func (d *DCF) effectiveBusyUntil() sim.Time {
+	busy := d.tr.CarrierBusyUntil()
+	if d.navUntil > busy {
+		return d.navUntil
+	}
+	return busy
+}
+
+// ackTimeout is the wait after a unicast transmission before declaring the
+// ACK lost.
+func (d *DCF) ackTimeout() sim.Time {
+	return d.cfg.SIFS + d.ackAirtime() + 2*d.cfg.SlotTime
+}
+
+// Send queues p for transmission to the link-layer destination dst
+// (pkt.Broadcast for broadcast). It reports whether the frame was
+// accepted; false means the queue was full and the packet dropped.
+func (d *DCF) Send(p *pkt.Packet, dst pkt.NodeID) bool {
+	if len(d.queue) >= d.cfg.QueueCap {
+		d.stats.QueueDrops++
+		return false
+	}
+	d.nextSeq++
+	out := &outgoing{
+		frm: frame{kind: frameData, src: d.id, dst: dst, seq: d.nextSeq, payload: p},
+	}
+	d.queue = append(d.queue, out)
+	if !d.busy {
+		d.startHead()
+	}
+	return true
+}
+
+// startHead begins the contention cycle for the frame at the queue head.
+func (d *DCF) startHead() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	d.inflight = d.queue[0]
+	d.queue = d.queue[1:]
+	d.inflight.attempt = 0
+	d.inflight.cw = d.cfg.CWMin
+	d.defer_()
+}
+
+// defer_ waits for the channel (physical + NAV) to go idle, then backs
+// off and transmits.
+func (d *DCF) defer_() {
+	out := d.inflight
+	busyUntil := d.effectiveBusyUntil()
+	now := d.sched.Now()
+	if busyUntil > now {
+		d.sched.At(busyUntil, func() {
+			if d.inflight == out {
+				d.defer_()
+			}
+		})
+		return
+	}
+	slots := d.rng.Intn(out.cw + 1)
+	wait := d.cfg.DIFS + time.Duration(slots)*d.cfg.SlotTime
+	d.sched.After(wait, func() {
+		if d.inflight != out {
+			return
+		}
+		// The channel may have become busy during the backoff; if so,
+		// start over (simplification of 802.11's counter freezing).
+		if d.effectiveBusyUntil() > d.sched.Now() {
+			d.defer_()
+			return
+		}
+		d.transmit()
+	})
+}
+
+// needRTS reports whether the head frame must be protected by RTS/CTS.
+func (d *DCF) needRTS(out *outgoing) bool {
+	if out.frm.dst == pkt.Broadcast {
+		return false
+	}
+	return d.cfg.HeaderBytes+out.frm.payload.WireSize() > d.cfg.RTSThreshold
+}
+
+// transmit puts the head frame (or its RTS) on the air.
+func (d *DCF) transmit() {
+	out := d.inflight
+	if d.needRTS(out) {
+		d.transmitRTS(out)
+		return
+	}
+	d.transmitData(out)
+}
+
+// transmitRTS starts the RTS/CTS handshake for the head frame.
+func (d *DCF) transmitRTS(out *outgoing) {
+	dataAt := d.airtime(out.frm.payload.WireSize())
+	ctsAt := d.ctlAirtime(d.cfg.CTSBytes)
+	// Duration field: everything after the RTS ends.
+	nav := d.cfg.SIFS + ctsAt + d.cfg.SIFS + dataAt + d.cfg.SIFS + d.ackAirtime()
+	rts := frame{kind: frameRTS, src: d.id, dst: out.frm.dst, seq: out.frm.seq, nav: nav}
+	if err := d.tr.StartTx(rts, d.ctlAirtime(d.cfg.RTSBytes)); err != nil {
+		d.retry(out)
+		return
+	}
+	d.stats.RTSSent++
+	d.stats.BytesSent += uint64(d.cfg.RTSBytes)
+	d.sched.After(d.ctlAirtime(d.cfg.RTSBytes), func() {
+		if d.inflight != out {
+			return
+		}
+		d.ctsTimer = d.sched.After(d.cfg.SIFS+ctsAt+2*d.cfg.SlotTime, func() {
+			if d.inflight == out {
+				d.retry(out)
+			}
+		})
+	})
+}
+
+// transmitData puts the head data frame on the air and arms the ACK
+// timer for unicast.
+func (d *DCF) transmitData(out *outgoing) {
+	payloadSize := out.frm.payload.WireSize()
+	at := d.airtime(payloadSize)
+	if err := d.tr.StartTx(out.frm, at); err != nil {
+		// Should be unreachable: the defer cycle guarantees idleness.
+		// Treat as a collision-equivalent retry rather than crashing.
+		d.retry(out)
+		return
+	}
+	d.stats.BytesSent += uint64(d.cfg.HeaderBytes + payloadSize)
+	if out.attempt == 0 {
+		if out.frm.dst == pkt.Broadcast {
+			d.stats.BroadcastSent++
+		} else {
+			d.stats.UnicastSent++
+		}
+	}
+	d.sched.After(at, func() {
+		if d.inflight != out {
+			return
+		}
+		if out.frm.dst == pkt.Broadcast {
+			d.finish(out, true)
+			return
+		}
+		// Await the ACK.
+		d.ackTimer = d.sched.After(d.ackTimeout(), func() {
+			if d.inflight == out {
+				d.retry(out)
+			}
+		})
+	})
+}
+
+// retry reschedules a unicast frame after a lost ACK, doubling the
+// contention window, or fails the frame once the retry limit is reached.
+func (d *DCF) retry(out *outgoing) {
+	out.attempt++
+	if out.attempt > d.cfg.RetryLimit {
+		d.stats.Failures++
+		d.finish(out, false)
+		return
+	}
+	d.stats.Retries++
+	out.cw = min(2*(out.cw+1)-1, d.cfg.CWMax)
+	d.defer_()
+}
+
+// finish completes the head frame and starts the next.
+func (d *DCF) finish(out *outgoing, ok bool) {
+	if d.ackTimer != nil {
+		d.ackTimer.Cancel()
+		d.ackTimer = nil
+	}
+	if d.ctsTimer != nil {
+		d.ctsTimer.Cancel()
+		d.ctsTimer = nil
+	}
+	d.inflight = nil
+	if d.cb.OnSendDone != nil {
+		d.cb.OnSendDone(out.frm.payload, out.frm.dst, ok)
+	}
+	d.startHead()
+}
+
+// onRadio handles a reception outcome from the radio layer.
+func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
+	if !ok {
+		return // corrupted receptions carry no usable frame
+	}
+	frm, isFrame := raw.(frame)
+	if !isFrame {
+		return // foreign traffic on the medium (tests)
+	}
+	// Virtual carrier sense: frames not for us with a duration field
+	// reserve the channel.
+	if frm.dst != d.id && frm.nav > 0 {
+		if until := d.sched.Now() + frm.nav; until > d.navUntil {
+			d.navUntil = until
+		}
+	}
+	switch frm.kind {
+	case frameAck:
+		if frm.dst != d.id || d.inflight == nil {
+			return
+		}
+		if frm.seq == d.inflight.frm.seq {
+			d.finish(d.inflight, true)
+		}
+	case frameRTS:
+		d.onRTS(frm)
+	case frameCTS:
+		if frm.dst != d.id || d.inflight == nil || d.ctsTimer == nil {
+			return
+		}
+		if frm.seq == d.inflight.frm.seq {
+			d.ctsTimer.Cancel()
+			d.ctsTimer = nil
+			out := d.inflight
+			d.sched.After(d.cfg.SIFS, func() {
+				if d.inflight == out {
+					d.transmitData(out)
+				}
+			})
+		}
+	case frameData:
+		d.onData(frm)
+	}
+}
+
+// onRTS answers a request-to-send addressed to this node.
+func (d *DCF) onRTS(frm frame) {
+	if frm.dst != d.id {
+		return
+	}
+	ctsAt := d.ctlAirtime(d.cfg.CTSBytes)
+	nav := frm.nav - d.cfg.SIFS - ctsAt
+	if nav < 0 {
+		nav = 0
+	}
+	d.sched.After(d.cfg.SIFS, func() {
+		if d.tr.Transmitting() {
+			return
+		}
+		cts := frame{kind: frameCTS, src: d.id, dst: frm.src, seq: frm.seq, nav: nav}
+		if err := d.tr.StartTx(cts, ctsAt); err == nil {
+			d.stats.CTSSent++
+			d.stats.BytesSent += uint64(d.cfg.CTSBytes)
+		}
+	})
+}
+
+func (d *DCF) onData(frm frame) {
+	if frm.dst == pkt.Broadcast {
+		d.stats.Delivered++
+		if d.cb.OnReceive != nil {
+			d.cb.OnReceive(frm.payload, frm.src, true)
+		}
+		return
+	}
+	if frm.dst != d.id {
+		return // unicast overheard in promiscuous range; ignore
+	}
+	// Acknowledge after SIFS unless we are mid-transmission (half-duplex;
+	// the sender will retry).
+	d.sched.After(d.cfg.SIFS, func() {
+		if d.tr.Transmitting() {
+			return
+		}
+		ack := frame{kind: frameAck, src: d.id, dst: frm.src, seq: frm.seq}
+		if err := d.tr.StartTx(ack, d.ackAirtime()); err == nil {
+			d.stats.AcksSent++
+			d.stats.BytesSent += uint64(d.cfg.AckBytes)
+		}
+	})
+	// Filter duplicates from ACK-lost retransmissions.
+	if last, seen := d.lastSeq[frm.src]; seen && last == frm.seq {
+		d.stats.DupsFiltered++
+		return
+	}
+	d.lastSeq[frm.src] = frm.seq
+	d.stats.Delivered++
+	if d.cb.OnReceive != nil {
+		d.cb.OnReceive(frm.payload, frm.src, false)
+	}
+}

@@ -1,0 +1,162 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/mobility"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+// rtsConfig enables RTS/CTS for every unicast frame.
+func rtsConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RTSThreshold = 0
+	return cfg
+}
+
+// newHarnessCfg is newHarness with a custom MAC config.
+func newHarnessCfg(t *testing.T, rangeM float64, positions []geom.Point, cfg Config) *harness {
+	t.Helper()
+	h := &harness{
+		sched: sim.NewScheduler(),
+		rxs:   make([][]received, len(positions)),
+		dones: make([][]sendDone, len(positions)),
+	}
+	h.medium = radio.NewMedium(h.sched, radio.Params{Range: rangeM})
+	rng := sim.NewRNG(4321)
+	for i, p := range positions {
+		i := i
+		id := pkt.NodeID(i + 1)
+		cb := Callbacks{
+			OnReceive: func(p *pkt.Packet, from pkt.NodeID, broadcast bool) {
+				h.rxs[i] = append(h.rxs[i], received{p: p, from: from, broadcast: broadcast})
+			},
+			OnSendDone: func(p *pkt.Packet, to pkt.NodeID, ok bool) {
+				h.dones[i] = append(h.dones[i], sendDone{p: p, to: to, ok: ok})
+			},
+		}
+		m := New(h.sched, rng.Derive(id.String()), h.medium, id,
+			mobility.Static{P: p}, cfg, cb)
+		h.macs = append(h.macs, m)
+	}
+	return h
+}
+
+func TestRTSCTSDelivers(t *testing.T) {
+	h := newHarnessCfg(t, 100, []geom.Point{{X: 0}, {X: 50}}, rtsConfig())
+	p := testPacket(1, 2)
+	h.sched.After(0, func() { h.macs[0].Send(p, 2) })
+	h.sched.Run(time.Second)
+
+	if len(h.rxs[1]) != 1 {
+		t.Fatalf("receiver got %d packets, want 1", len(h.rxs[1]))
+	}
+	if len(h.dones[0]) != 1 || !h.dones[0][0].ok {
+		t.Fatalf("sender completion %+v", h.dones[0])
+	}
+	s := h.macs[0].Stats()
+	if s.RTSSent != 1 {
+		t.Fatalf("RTSSent = %d, want 1", s.RTSSent)
+	}
+	if r := h.macs[1].Stats(); r.CTSSent != 1 || r.AcksSent != 1 {
+		t.Fatalf("receiver control frames = %+v", r)
+	}
+}
+
+func TestRTSBelowThresholdSkipsHandshake(t *testing.T) {
+	cfg := DefaultConfig() // threshold off
+	h := newHarnessCfg(t, 100, []geom.Point{{X: 0}, {X: 50}}, cfg)
+	h.sched.After(0, func() { h.macs[0].Send(testPacket(1, 2), 2) })
+	h.sched.Run(time.Second)
+
+	if s := h.macs[0].Stats(); s.RTSSent != 0 {
+		t.Fatalf("RTS sent below threshold: %+v", s)
+	}
+	if len(h.rxs[1]) != 1 {
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestBroadcastNeverUsesRTS(t *testing.T) {
+	h := newHarnessCfg(t, 100, []geom.Point{{X: 0}, {X: 50}}, rtsConfig())
+	h.sched.After(0, func() { h.macs[0].Send(testPacket(1, pkt.Broadcast), pkt.Broadcast) })
+	h.sched.Run(time.Second)
+	if s := h.macs[0].Stats(); s.RTSSent != 0 {
+		t.Fatal("broadcast used RTS")
+	}
+	if len(h.rxs[1]) != 1 {
+		t.Fatal("broadcast not delivered")
+	}
+}
+
+func TestRTSToUnreachableFails(t *testing.T) {
+	h := newHarnessCfg(t, 100, []geom.Point{{X: 0}, {X: 500}}, rtsConfig())
+	h.sched.After(0, func() { h.macs[0].Send(testPacket(1, 2), 2) })
+	h.sched.Run(10 * time.Second)
+	if len(h.dones[0]) != 1 || h.dones[0][0].ok {
+		t.Fatalf("completion = %+v, want failure", h.dones[0])
+	}
+	if s := h.macs[0].Stats(); s.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", s.Failures)
+	}
+}
+
+func TestNAVDefersThirdParty(t *testing.T) {
+	// 1 -> 2 exchange with RTS/CTS; node 3 hears node 2's CTS (it is in
+	// range of 2 but not of 1) and must defer its own transmission to 2
+	// until the exchange completes.
+	h := newHarnessCfg(t, 60, []geom.Point{{X: 0}, {X: 50}, {X: 100}}, rtsConfig())
+
+	h.sched.After(0, func() { h.macs[0].Send(testPacket(1, 2), 2) })
+	// Node 3 queues shortly after the RTS/CTS handshake begins.
+	h.sched.After(300*time.Microsecond, func() { h.macs[2].Send(testPacket(3, 2), 2) })
+	h.sched.Run(5 * time.Second)
+
+	// Both exchanges must succeed: without NAV, node 3 (a hidden
+	// terminal to node 1) would often corrupt the data frame at node 2.
+	if got := len(h.rxs[1]); got != 2 {
+		t.Fatalf("receiver got %d packets, want 2", got)
+	}
+	okCount := 0
+	for _, d := range append(h.dones[0], h.dones[2]...) {
+		if d.ok {
+			okCount++
+		}
+	}
+	if okCount != 2 {
+		t.Fatalf("completions ok = %d, want 2", okCount)
+	}
+	if h.macs[2].navUntil == 0 {
+		t.Fatal("node 3 never set its NAV from the overheard CTS")
+	}
+}
+
+func TestHiddenTerminalRetriesReducedByRTS(t *testing.T) {
+	// The classic experiment: two hidden senders bombard a middle
+	// receiver. RTS/CTS + NAV should need fewer data retransmissions
+	// than plain DCF for the same workload.
+	load := func(cfg Config) uint64 {
+		h := newHarnessCfg(t, 60, []geom.Point{{X: 0}, {X: 50}, {X: 100}}, cfg)
+		const n = 40
+		h.sched.After(0, func() {
+			for i := 0; i < n; i++ {
+				h.macs[0].Send(testPacket(1, 2), 2)
+				h.macs[2].Send(testPacket(3, 2), 2)
+			}
+		})
+		h.sched.Run(60 * time.Second)
+		return h.macs[0].Stats().Retries + h.macs[2].Stats().Retries
+	}
+	plain := load(DefaultConfig())
+	rts := load(rtsConfig())
+	if plain == 0 {
+		t.Skip("no contention in this schedule")
+	}
+	if rts >= plain {
+		t.Fatalf("RTS/CTS retries %d >= plain DCF retries %d", rts, plain)
+	}
+}

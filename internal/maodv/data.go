@@ -1,0 +1,110 @@
+package maodv
+
+import (
+	"errors"
+
+	"anongossip/internal/pkt"
+)
+
+// ErrNotMember reports a SendData call from a non-member node.
+var ErrNotMember = errors.New("maodv: node is not a member of the group")
+
+// SendData multicasts one application payload to the group and returns
+// its sequence identity. The packet is transmitted as a link-layer
+// broadcast accepted and re-forwarded only by tree neighbours, as in
+// MAODV. Delivery is unreliable by design — Anonymous Gossip recovers the
+// losses.
+func (r *Router) SendData(gid pkt.GroupID) (pkt.SeqKey, error) {
+	g, ok := r.groups[gid]
+	if !ok || !g.member {
+		return pkt.SeqKey{}, ErrNotMember
+	}
+	g.nextDataSeq++
+	d := &pkt.Data{
+		Group:      gid,
+		Origin:     r.stack.ID(),
+		Seq:        g.nextDataSeq,
+		PayloadLen: r.cfg.PayloadLen,
+	}
+	key := d.Key()
+	r.noteData(g, key)
+	r.stats.DataSent++
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, d))
+	return key, nil
+}
+
+// onData accepts multicast data arriving over a tree link, delivers it to
+// a member application, and re-broadcasts it down the remaining branches.
+func (r *Router) onData(p *pkt.Packet, from pkt.NodeID) {
+	d, ok := p.Body.(*pkt.Data)
+	if !ok {
+		return
+	}
+	g, have := r.groups[d.Group]
+	if !have || !g.inTree {
+		return
+	}
+	// Tree discipline: accept only from an enabled next hop; anything
+	// else is an off-tree copy of the broadcast.
+	e, linked := g.next[from]
+	if !linked || !e.enabled {
+		r.stats.DataOffTree++
+		return
+	}
+	if r.seenData(g, d.Key()) {
+		r.stats.DataDuplicates++
+		return
+	}
+	r.noteData(g, d.Key())
+
+	if g.member {
+		r.stats.DataDelivered++
+		for _, fn := range r.deliverSubs {
+			fn(d.Group, d, from)
+		}
+		// The origin is a member: incidental evidence for the member
+		// cache, with the unicast route's hop count when available.
+		hops := pkt.NearestUnknown
+		if h, okHops := r.uni.RouteHops(d.Origin); okHops {
+			hops = h
+		}
+		r.fireEvidence(d.Group, d.Origin, hops)
+	}
+
+	// Forward along the tree unless this node is a leaf on this branch.
+	if p.TTL <= 1 {
+		return
+	}
+	if g.enabledCount() <= 1 {
+		return // only the link the packet came from
+	}
+	cp := p.Clone()
+	cp.TTL--
+	r.stats.DataForwarded++
+	r.sched.After(r.rng.Duration(r.cfg.ForwardJitter), func() {
+		r.stack.SendBroadcast(cp)
+	})
+}
+
+// seenData reports whether the key is in the duplicate cache.
+func (r *Router) seenData(g *group, k pkt.SeqKey) bool {
+	_, dup := g.dataSeen[k]
+	return dup
+}
+
+// noteData inserts the key into the bounded duplicate cache (FIFO
+// eviction).
+func (r *Router) noteData(g *group, k pkt.SeqKey) {
+	if _, dup := g.dataSeen[k]; dup {
+		return
+	}
+	if len(g.dataOrder) < r.cfg.DataCacheSize {
+		g.dataOrder = append(g.dataOrder, k)
+	} else {
+		old := g.dataOrder[g.dataNext]
+		delete(g.dataSeen, old)
+		g.dataOrder[g.dataNext] = k
+		g.dataNext = (g.dataNext + 1) % r.cfg.DataCacheSize
+	}
+	g.dataSeen[k] = struct{}{}
+}

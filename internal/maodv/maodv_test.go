@@ -1,0 +1,424 @@
+package maodv
+
+import (
+	"testing"
+	"time"
+
+	"anongossip/internal/aodv"
+	"anongossip/internal/geom"
+	"anongossip/internal/mac"
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+const testGroup pkt.GroupID = 0xE0000001
+
+// movable is a mobility model whose node jumps far away when *moved is
+// set.
+type movable struct {
+	p     geom.Point
+	moved *bool
+}
+
+func (m movable) Position(sim.Time) geom.Point {
+	if m.moved != nil && *m.moved {
+		return geom.Point{X: 1e6, Y: 1e6}
+	}
+	return m.p
+}
+
+type mworld struct {
+	sched     *sim.Scheduler
+	medium    *radio.Medium
+	stacks    []*node.Stack
+	unis      []*aodv.Router
+	routers   []*Router
+	delivered []map[pkt.SeqKey]int // per node: data key -> count
+	moved     []bool
+}
+
+// fastConfig shortens join timers so leader bootstrap happens quickly in
+// tests.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.JoinReplyWait = 200 * time.Millisecond
+	cfg.JoinRetries = 2
+	cfg.RepairRetries = 2
+	return cfg
+}
+
+func buildM(t *testing.T, rangeM float64, positions []geom.Point) *mworld {
+	t.Helper()
+	w := &mworld{sched: sim.NewScheduler(), moved: make([]bool, len(positions))}
+	w.medium = radio.NewMedium(w.sched, radio.Params{Range: rangeM})
+	rng := sim.NewRNG(321)
+	for i := range positions {
+		i := i
+		id := pkt.NodeID(i + 1)
+		st := node.New(w.sched, rng.Derive("n/"+id.String()), w.medium, id,
+			movable{p: positions[i], moved: &w.moved[i]}, mac.DefaultConfig())
+		uni := aodv.New(st, rng.Derive("a/"+id.String()), aodv.DefaultConfig())
+		mr := New(st, uni, rng.Derive("m/"+id.String()), fastConfig())
+		w.delivered = append(w.delivered, map[pkt.SeqKey]int{})
+		mr.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+			w.delivered[i][d.Key()]++
+		})
+		uni.Start()
+		w.stacks = append(w.stacks, st)
+		w.unis = append(w.unis, uni)
+		w.routers = append(w.routers, mr)
+	}
+	return w
+}
+
+func (w *mworld) joinAt(t sim.Time, idx int) {
+	w.sched.At(t, func() { w.routers[idx].Join(testGroup) })
+}
+
+func (w *mworld) sendAt(t sim.Time, idx int) {
+	w.sched.At(t, func() {
+		if _, err := w.routers[idx].SendData(testGroup); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func linePos(n int, spacing float64) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{X: float64(i) * spacing}
+	}
+	return out
+}
+
+func TestLoneMemberBecomesLeader(t *testing.T) {
+	w := buildM(t, 60, []geom.Point{{X: 0}})
+	w.joinAt(0, 0)
+	w.sched.Run(10 * time.Second)
+
+	if leader, ok := w.routers[0].Leader(testGroup); !ok || leader != 1 {
+		t.Fatalf("leader = (%v, %v), want (1, true)", leader, ok)
+	}
+	if !w.routers[0].InTree(testGroup) || !w.routers[0].IsMember(testGroup) {
+		t.Fatal("lone member not in tree or not member")
+	}
+	if w.routers[0].Stats().LeaderElections != 1 {
+		t.Fatalf("LeaderElections = %d, want 1", w.routers[0].Stats().LeaderElections)
+	}
+	if w.routers[0].Stats().GRPHsSent == 0 {
+		t.Fatal("leader never sent a group hello")
+	}
+}
+
+func TestTwoAdjacentMembersFormTree(t *testing.T) {
+	w := buildM(t, 60, linePos(2, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 1)
+	w.sched.Run(10 * time.Second)
+
+	for i := 0; i < 2; i++ {
+		if !w.routers[i].InTree(testGroup) {
+			t.Fatalf("node %d not in tree", i+1)
+		}
+	}
+	// Data flows both ways.
+	w.sendAt(11*time.Second, 0)
+	w.sendAt(12*time.Second, 1)
+	w.sched.Run(15 * time.Second)
+	if len(w.delivered[1]) != 1 {
+		t.Fatalf("member 2 delivered %d packets, want 1", len(w.delivered[1]))
+	}
+	if len(w.delivered[0]) != 1 {
+		t.Fatalf("member 1 delivered %d packets, want 1", len(w.delivered[0]))
+	}
+}
+
+func TestLineTreeFormationAndDataDelivery(t *testing.T) {
+	w := buildM(t, 60, linePos(4, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 3)
+	w.sched.Run(10 * time.Second)
+
+	// All four nodes are tree participants (1, 4 members; 2, 3 routers).
+	for i := 0; i < 4; i++ {
+		if !w.routers[i].InTree(testGroup) {
+			t.Fatalf("node %d not in tree", i+1)
+		}
+	}
+	if w.routers[1].IsMember(testGroup) || w.routers[2].IsMember(testGroup) {
+		t.Fatal("pure routers are reported as members")
+	}
+	// 20 packets from the leader side.
+	for i := 0; i < 20; i++ {
+		w.sendAt(10*time.Second+sim.Time(i)*250*time.Millisecond, 0)
+	}
+	w.sched.Run(20 * time.Second)
+	if got := len(w.delivered[3]); got != 20 {
+		t.Fatalf("member 4 delivered %d packets, want 20", got)
+	}
+	// Routers forward but do not deliver.
+	if len(w.delivered[1]) != 0 || len(w.delivered[2]) != 0 {
+		t.Fatal("non-members delivered data")
+	}
+	if w.routers[1].Stats().DataForwarded == 0 {
+		t.Fatal("interior router never forwarded data")
+	}
+}
+
+func TestNearestMemberConvergesOnLine(t *testing.T) {
+	w := buildM(t, 60, linePos(4, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 3)
+	w.sched.Run(15 * time.Second)
+
+	// Expected nearest-member values (paper §4.2 semantics):
+	// node1: via 2 -> member 4 at 3 hops
+	// node2: via 1 -> 1 hop, via 3 -> 2 hops
+	// node3: via 2 -> 2 hops, via 4 -> 1 hop
+	// node4: via 3 -> member 1 at 3 hops
+	want := []map[pkt.NodeID]uint8{
+		{2: 3},
+		{1: 1, 3: 2},
+		{2: 2, 4: 1},
+		{3: 3},
+	}
+	for i, m := range want {
+		got := map[pkt.NodeID]uint8{}
+		for _, nh := range w.routers[i].TreeNextHops(testGroup) {
+			got[nh.ID] = nh.Nearest
+		}
+		if len(got) != len(m) {
+			t.Fatalf("node %d next hops = %v, want %v", i+1, got, m)
+		}
+		for id, v := range m {
+			if got[id] != v {
+				t.Errorf("node %d nearest via %v = %d, want %d", i+1, got[id], got[id], v)
+			}
+		}
+	}
+}
+
+func TestUpstreamDownstreamDirections(t *testing.T) {
+	w := buildM(t, 60, linePos(3, 50))
+	w.joinAt(0, 0) // leader
+	w.joinAt(3*time.Second, 2)
+	w.sched.Run(10 * time.Second)
+
+	// Node 3 joined the leader's tree: its link to 2 is upstream.
+	for _, nh := range w.routers[2].TreeNextHops(testGroup) {
+		if nh.ID == 2 && !nh.Upstream {
+			t.Fatal("joiner's selected branch not marked upstream")
+		}
+	}
+	// The leader's link to 2 is downstream.
+	for _, nh := range w.routers[0].TreeNextHops(testGroup) {
+		if nh.ID == 2 && nh.Upstream {
+			t.Fatal("leader's branch marked upstream")
+		}
+	}
+}
+
+func TestDuplicateDataSuppressed(t *testing.T) {
+	w := buildM(t, 60, linePos(2, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 1)
+	w.sendAt(10*time.Second, 0)
+	w.sched.Run(12 * time.Second)
+
+	for k, n := range w.delivered[1] {
+		if n != 1 {
+			t.Fatalf("packet %v delivered %d times", k, n)
+		}
+	}
+}
+
+func TestOffTreeDataIgnored(t *testing.T) {
+	// Node 3 is within radio range of member 2 but never joins.
+	w := buildM(t, 60, linePos(3, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 1)
+	w.sendAt(10*time.Second, 1) // member 2 transmits; node 3 overhears
+	w.sched.Run(12 * time.Second)
+
+	if len(w.delivered[2]) != 0 {
+		t.Fatal("non-member delivered data")
+	}
+	if w.routers[2].InTree(testGroup) {
+		t.Fatal("bystander ended up in tree")
+	}
+}
+
+func TestLeaveCascadesPrune(t *testing.T) {
+	w := buildM(t, 60, linePos(4, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 3)
+	w.sched.Run(10 * time.Second)
+	if !w.routers[1].InTree(testGroup) || !w.routers[2].InTree(testGroup) {
+		t.Fatal("precondition: interior routers not in tree")
+	}
+
+	w.sched.After(0, func() { w.routers[3].Leave(testGroup) })
+	w.sched.Run(15 * time.Second)
+
+	if w.routers[3].InTree(testGroup) {
+		t.Fatal("left member still in tree")
+	}
+	if w.routers[2].InTree(testGroup) || w.routers[1].InTree(testGroup) {
+		t.Fatal("prune did not cascade through non-member leaf routers")
+	}
+	if !w.routers[0].InTree(testGroup) {
+		t.Fatal("leader should remain in (degenerate) tree")
+	}
+}
+
+func TestRepairAfterLinkBreak(t *testing.T) {
+	// Diamond: members 1 (0,0) and 4 (100,0); routers 2 (50,40) and
+	// 3 (50,-40); range 70 connects only the diamond edges.
+	w := buildM(t, 70, []geom.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 40}, {X: 50, Y: -40}, {X: 100, Y: 0},
+	})
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 3)
+	// The diamond's two routers are hidden terminals to each other, so
+	// join floods can collide; allow time for retries before sending.
+	w.sendAt(15*time.Second, 0)
+	w.sched.Run(18 * time.Second)
+	if len(w.delivered[3]) != 1 {
+		t.Fatal("precondition: initial delivery failed")
+	}
+
+	// Remove whichever router carries the tree.
+	w.sched.After(0, func() {
+		switch {
+		case w.routers[1].InTree(testGroup):
+			w.moved[1] = true
+		case w.routers[2].InTree(testGroup):
+			w.moved[2] = true
+		default:
+			t.Error("neither router is in the tree")
+		}
+	})
+	// Wait out hello-loss detection (2.4 s) plus repair, then send again.
+	w.sched.After(15*time.Second, func() {
+		if _, err := w.routers[0].SendData(testGroup); err != nil {
+			t.Errorf("SendData: %v", err)
+		}
+	})
+	w.sched.Run(40 * time.Second)
+
+	if got := len(w.delivered[3]); got != 2 {
+		t.Fatalf("member 4 delivered %d packets, want 2 (repair failed)", got)
+	}
+	if w.routers[3].Stats().RepairsStarted == 0 && w.routers[0].Stats().RepairsStarted == 0 {
+		t.Fatal("no repair was started")
+	}
+}
+
+func TestPartitionElectsNewLeaderAndMergesBack(t *testing.T) {
+	// Line 1-2-3: members 1 and 3, router 2. Node 2 leaves; 3 becomes a
+	// partition leader; when 2 returns, the leaders merge (lower ID
+	// wins).
+	w := buildM(t, 60, linePos(3, 50))
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 2)
+	w.sched.Run(10 * time.Second)
+	if !w.routers[2].InTree(testGroup) {
+		t.Fatal("precondition: member 3 not attached")
+	}
+
+	w.sched.After(0, func() { w.moved[1] = true })
+	w.sched.Run(40 * time.Second) // hello loss + failed repair + election
+
+	if leader, ok := w.routers[2].Leader(testGroup); !ok || leader != 3 {
+		t.Fatalf("partitioned member's leader = (%v, %v), want itself (3)", leader, ok)
+	}
+
+	w.sched.After(0, func() { w.moved[1] = false })
+	w.sched.Run(90 * time.Second) // GRPH exchange + stepdown + rejoin
+
+	if leader, ok := w.routers[2].Leader(testGroup); !ok || leader != 1 {
+		t.Fatalf("after merge, member 3 leader = (%v, %v), want (1, true)", leader, ok)
+	}
+	if w.routers[2].Stats().LeaderStepdowns == 0 {
+		t.Fatal("losing leader never stepped down")
+	}
+	// Data flows across the merged tree again.
+	w.sendAt(w.sched.Now()+time.Second, 0)
+	w.sched.Run(w.sched.Now() + 10*time.Second)
+	if len(w.delivered[2]) == 0 {
+		t.Fatal("no delivery after merge")
+	}
+}
+
+func TestSendDataRequiresMembership(t *testing.T) {
+	w := buildM(t, 60, linePos(1, 50))
+	if _, err := w.routers[0].SendData(testGroup); err == nil {
+		t.Fatal("SendData from non-member succeeded")
+	}
+}
+
+func TestMemberEvidenceFromJoinReplies(t *testing.T) {
+	w := buildM(t, 60, linePos(3, 50))
+	var evidence []pkt.NodeID
+	w.routers[2].OnMemberEvidence(func(_ pkt.GroupID, m pkt.NodeID, _ uint8) {
+		evidence = append(evidence, m)
+	})
+	w.joinAt(0, 0)
+	w.joinAt(3*time.Second, 2)
+	w.sched.Run(10 * time.Second)
+
+	found := false
+	for _, m := range evidence {
+		if m == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("joiner collected no member evidence about the leader: %v", evidence)
+	}
+}
+
+func TestDataCacheBounded(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DataCacheSize = 8
+	r := &Router{cfg: cfg}
+	g := &group{
+		next:     map[pkt.NodeID]*nextHop{},
+		dataSeen: map[pkt.SeqKey]struct{}{},
+	}
+	for i := 0; i < 100; i++ {
+		r.noteData(g, pkt.SeqKey{Origin: 1, Seq: uint32(i)})
+	}
+	if len(g.dataSeen) != 8 || len(g.dataOrder) != 8 {
+		t.Fatalf("cache size = %d/%d, want 8", len(g.dataSeen), len(g.dataOrder))
+	}
+	// Most recent entries survive.
+	for i := 92; i < 100; i++ {
+		if !r.seenData(g, pkt.SeqKey{Origin: 1, Seq: uint32(i)}) {
+			t.Fatalf("recent key %d evicted", i)
+		}
+	}
+	if r.seenData(g, pkt.SeqKey{Origin: 1, Seq: 0}) {
+		t.Fatal("oldest key still cached")
+	}
+}
+
+func TestSatAdd8(t *testing.T) {
+	tests := []struct {
+		a, b, want uint8
+	}{
+		{1, 2, 3},
+		{0, 0, 0},
+		{pkt.LeaderHopsUnset, 1, pkt.LeaderHopsUnset},
+		{1, pkt.LeaderHopsUnset, pkt.LeaderHopsUnset},
+		{200, 100, pkt.LeaderHopsUnset - 1},
+		{254, 0, pkt.LeaderHopsUnset - 1},
+	}
+	for _, tt := range tests {
+		if got := satAdd8(tt.a, tt.b); got != tt.want {
+			t.Errorf("satAdd8(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+package maodv
+
+import (
+	"slices"
+
+	"anongossip/internal/pkt"
+)
+
+// --- MACT handling ---
+
+func (r *Router) onMACT(p *pkt.Packet, from pkt.NodeID) {
+	m, ok := p.Body.(*pkt.MACT)
+	if !ok {
+		return
+	}
+	g, have := r.groups[m.Group]
+	if !have {
+		return
+	}
+	switch {
+	case m.Join():
+		r.onMACTJoin(g, m, from)
+	case m.Prune():
+		r.onMACTPrune(g, from)
+	case m.GroupLeader():
+		r.onMACTGroupLeader(g, from)
+	}
+}
+
+// onMACTJoin activates the branch toward the sender and climbs toward the
+// tree along the recorded reply path if this node is not attached yet.
+func (r *Router) onMACTJoin(g *group, m *pkt.MACT, from pkt.NodeID) {
+	wasInTree := g.inTree
+
+	if !wasInTree {
+		// We must attach ourselves upstream before accepting downstream
+		// branches; otherwise reject the activation so the joiner retries.
+		path, ok := g.rrepPaths[m.RREQID]
+		if !ok || path.expires <= r.sched.Now() {
+			r.sendPrune(g, from)
+			return
+		}
+		delete(g.rrepPaths, m.RREQID)
+		up, have := g.next[path.upstream]
+		if !have {
+			up = &nextHop{nearest: pkt.NearestUnknown}
+			g.next[path.upstream] = up
+		}
+		up.enabled = true
+		up.upstream = true
+		g.inTree = true
+
+		fwd := m.CloneBody()
+		fm, okBody := fwd.(*pkt.MACT)
+		if !okBody {
+			return
+		}
+		fm.HopsFromOrigin = satAdd8(m.HopsFromOrigin, 1)
+		r.stats.MACTsSent++
+		r.stack.SendDirect(path.upstream, pkt.NewPacket(r.stack.ID(), path.upstream, fm))
+	}
+
+	e, have := g.next[from]
+	if !have {
+		e = &nextHop{nearest: pkt.NearestUnknown}
+		g.next[from] = e
+	}
+	e.enabled = true
+	e.upstream = false
+	if m.MemberOrigin() {
+		d := satAdd8(m.HopsFromOrigin, 1)
+		if d < e.nearest {
+			e.nearest = d
+		}
+	}
+	r.nearestRecompute(g)
+}
+
+// onMACTPrune removes the sender's branch. Losing the upstream branch is
+// equivalent to an upstream link break: the node repairs toward the tree
+// (paper §3's downstream-repairs rule). A non-member leaf cascades out.
+func (r *Router) onMACTPrune(g *group, from pkt.NodeID) {
+	e, have := g.next[from]
+	if !have {
+		return
+	}
+	wasUpstream := e.enabled && e.upstream
+	delete(g.next, from)
+	r.nearestRecompute(g)
+
+	if wasUpstream && g.inTree {
+		// A pruned upstream usually means the branch head dissolved in a
+		// merge; the old hop count is meaningless, so rejoin permissively.
+		g.hopsToLeader = pkt.LeaderHopsUnset
+		if g.join == nil {
+			r.startJoin(g, true)
+		}
+		return
+	}
+	r.maybePrune(g)
+	if g.member && g.inTree && g.enabledCount() == 0 && !r.isLeader(g) {
+		g.inTree = false
+		g.hopsToLeader = pkt.LeaderHopsUnset
+		if g.join == nil {
+			r.startJoin(g, false)
+		}
+	}
+}
+
+// onMACTGroupLeader handles delegated leader selection after a failed
+// repair upstream: members take leadership, routers pass it downstream.
+func (r *Router) onMACTGroupLeader(g *group, from pkt.NodeID) {
+	if g.member {
+		r.becomeLeader(g)
+		return
+	}
+	r.delegateLeadershipExcept(g, from)
+}
+
+// sendPrune emits MACT(P) to a neighbour.
+func (r *Router) sendPrune(g *group, to pkt.NodeID) {
+	r.stats.Prunes++
+	r.stats.MACTsSent++
+	m := &pkt.MACT{Group: g.id, Src: r.stack.ID(), Flags: pkt.MACTPrune}
+	r.stack.SendDirect(to, pkt.NewPacket(r.stack.ID(), to, m))
+}
+
+// maybePrune removes this node from the tree if it is a non-member leaf
+// (paper §3: leaf routers cascade out of the tree).
+func (r *Router) maybePrune(g *group) {
+	if g.member || !g.inTree {
+		return
+	}
+	enabled := make([]pkt.NodeID, 0, len(g.next))
+	for _, id := range g.sortedNextIDs() {
+		if g.next[id].enabled {
+			enabled = append(enabled, id)
+		}
+	}
+	switch len(enabled) {
+	case 0:
+		r.detachFromTree(g)
+	case 1:
+		r.sendPrune(g, enabled[0])
+		delete(g.next, enabled[0])
+		r.detachFromTree(g)
+	}
+}
+
+// detachFromTree clears tree participation (membership is unaffected).
+func (r *Router) detachFromTree(g *group) {
+	g.inTree = false
+	g.hopsToLeader = pkt.LeaderHopsUnset
+	for id := range g.next {
+		delete(g.next, id)
+	}
+	if r.isLeader(g) {
+		r.stopLeading(g)
+	}
+}
+
+// --- leadership ---
+
+func (r *Router) becomeLeader(g *group) {
+	if r.isLeader(g) {
+		return
+	}
+	g.leader = r.stack.ID()
+	g.leaderValid = true
+	g.hopsToLeader = 0
+	g.inTree = true
+	g.groupSeq++
+	g.seqValid = true
+	r.stats.LeaderElections++
+	if g.grphTimer == nil {
+		r.scheduleGRPH(g)
+	}
+	r.nearestRecompute(g)
+}
+
+func (r *Router) stopLeading(g *group) {
+	if g.grphTimer != nil {
+		g.grphTimer.Cancel()
+		g.grphTimer = nil
+	}
+}
+
+// delegateLeadership sends MACT(GL) down an arbitrary enabled branch.
+func (r *Router) delegateLeadership(g *group) {
+	r.delegateLeadershipExcept(g, r.stack.ID())
+}
+
+func (r *Router) delegateLeadershipExcept(g *group, except pkt.NodeID) {
+	for _, id := range g.sortedNextIDs() {
+		if e := g.next[id]; !e.enabled || id == except {
+			continue
+		}
+		m := &pkt.MACT{Group: g.id, Src: r.stack.ID(), Flags: pkt.MACTGroupLeader}
+		r.stats.MACTsSent++
+		r.stack.SendDirect(id, pkt.NewPacket(r.stack.ID(), id, m))
+		return
+	}
+	// Nowhere to delegate: the fragment dissolves.
+	r.detachFromTree(g)
+}
+
+// scheduleGRPH runs the leader's periodic group hello.
+func (r *Router) scheduleGRPH(g *group) {
+	jitter := r.rng.Duration(r.cfg.GroupHelloJitter)
+	g.grphTimer = r.sched.After(r.cfg.GroupHelloInterval+jitter, func() {
+		if !r.isLeader(g) {
+			g.grphTimer = nil
+			return
+		}
+		g.groupSeq++
+		g.grphSeen[r.stack.ID()] = g.groupSeq
+		r.stats.GRPHsSent++
+		grph := &pkt.GRPH{Group: g.id, Leader: r.stack.ID(), GroupSeq: g.groupSeq, HopCount: 0}
+		r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, grph))
+		r.scheduleGRPH(g)
+	})
+}
+
+// onGRPH processes and refloods group hellos (network-wide flood with
+// per-leader sequence-number duplicate suppression).
+func (r *Router) onGRPH(p *pkt.Packet, from pkt.NodeID) {
+	h, ok := p.Body.(*pkt.GRPH)
+	if !ok {
+		return
+	}
+	g := r.groupState(h.Group)
+	if last, seen := g.grphSeen[h.Leader]; seen && !newerSeq(h.GroupSeq, last) {
+		return // duplicate or stale flood from this leader
+	}
+	g.grphSeen[h.Leader] = h.GroupSeq
+
+	r.adoptGroupInfo(g, h, from)
+
+	// Reflood, jittered against hidden-terminal synchronisation.
+	if p.TTL > 1 {
+		cp := p.Clone()
+		cp.TTL--
+		body, okBody := cp.Body.(*pkt.GRPH)
+		if !okBody {
+			return
+		}
+		body.HopCount = satAdd8(h.HopCount, 1)
+		r.sched.After(r.rng.Duration(r.cfg.FloodJitter), func() {
+			r.stack.SendBroadcast(cp)
+		})
+	}
+}
+
+// adoptGroupInfo merges GRPH contents into local state. Leader conflicts
+// after partition merges resolve deterministically: the lower node ID
+// keeps the group everywhere; sequence numbers only order floods of the
+// same leader (different leaders count independently, so comparing their
+// sequences is meaningless).
+func (r *Router) adoptGroupInfo(g *group, h *pkt.GRPH, from pkt.NodeID) {
+	me := r.stack.ID()
+	if r.isLeader(g) && h.Leader != me {
+		if h.Leader < me {
+			r.stepDown(g, h)
+		}
+		return
+	}
+
+	switch {
+	case !g.leaderValid:
+		g.leader = h.Leader
+		g.leaderValid = true
+		g.groupSeq = h.GroupSeq
+		g.seqValid = true
+	case h.Leader == g.leader:
+		if newerSeq(h.GroupSeq, g.groupSeq) || !g.seqValid {
+			g.groupSeq = h.GroupSeq
+			g.seqValid = true
+		}
+	case h.Leader < g.leader:
+		// A better (lower-ID) leader exists: adopt it wholesale.
+		g.leader = h.Leader
+		g.leaderValid = true
+		g.groupSeq = h.GroupSeq
+		g.seqValid = true
+	default:
+		return // flood from a leader that will lose the merge: ignore
+	}
+
+	// Distance estimate: exact when heard over the upstream tree link,
+	// an optimistic bound otherwise.
+	if g.inTree {
+		d := satAdd8(h.HopCount, 1)
+		if e, okNext := g.next[from]; okNext && e.enabled && e.upstream {
+			g.hopsToLeader = d
+		} else if d < g.hopsToLeader {
+			g.hopsToLeader = d
+		}
+	}
+}
+
+// stepDown dissolves this node's leadership in favour of a lower-ID
+// leader: downstream branches are pruned (their heads re-attach to the
+// winner's tree through their own repairs, which cannot re-graft onto
+// this node's dissolved fragment), and this node rejoins as an ordinary
+// member. Keeping the subtree intact instead is tempting but creates
+// tree loops when a descendant answers the ex-leader's rejoin flood.
+func (r *Router) stepDown(g *group, h *pkt.GRPH) {
+	r.stats.LeaderStepdowns++
+	r.stopLeading(g)
+	for _, id := range g.sortedNextIDs() {
+		if g.next[id].enabled {
+			r.sendPrune(g, id)
+		}
+		delete(g.next, id)
+	}
+	g.inTree = false
+	g.leader = h.Leader
+	g.leaderValid = true
+	g.groupSeq = h.GroupSeq
+	g.seqValid = true
+	g.hopsToLeader = pkt.LeaderHopsUnset
+	if g.member && g.join == nil {
+		r.startJoin(g, false)
+	}
+}
+
+// --- link breakage and repair ---
+
+// onLinkBreak reacts to a lost neighbour: downstream nodes repair their
+// upstream link; upstream nodes drop the branch (and prune if they become
+// non-member leaves). Paper §3: "only the downstream node D attempts to
+// repair this link".
+func (r *Router) onLinkBreak(n pkt.NodeID) {
+	gids := make([]pkt.GroupID, 0, len(r.groups))
+	for gid := range r.groups {
+		gids = append(gids, gid)
+	}
+	slices.Sort(gids)
+	for _, gid := range gids {
+		g := r.groups[gid]
+		e, have := g.next[n]
+		if !have || !e.enabled {
+			continue
+		}
+		wasUpstream := e.upstream
+		delete(g.next, n)
+		r.nearestRecompute(g)
+
+		if wasUpstream {
+			if g.join == nil {
+				r.startJoin(g, true)
+			}
+			continue
+		}
+		// Lost a downstream branch.
+		r.maybePrune(g)
+		if g.member && g.inTree && g.enabledCount() == 0 && !r.isLeader(g) {
+			// Isolated member: try to re-attach from scratch.
+			g.inTree = false
+			g.hopsToLeader = pkt.LeaderHopsUnset
+			if g.join == nil {
+				r.startJoin(g, false)
+			}
+		}
+	}
+}
+
+// repairFailed handles a partition: a member becomes the new leader of
+// the downstream fragment; a router delegates leadership downstream.
+func (r *Router) repairFailed(g *group) {
+	r.stats.RepairsFailed++
+	if g.member {
+		r.becomeLeader(g)
+		return
+	}
+	if g.enabledCount() == 0 {
+		r.detachFromTree(g)
+		return
+	}
+	r.delegateLeadership(g)
+	// The router keeps serving its remaining branches; the delegated
+	// member announces leadership via GRPH.
+}

@@ -1,0 +1,175 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/sim"
+)
+
+func testConfig() WaypointConfig {
+	return WaypointConfig{
+		Area:     geom.Rect{W: 200, H: 200},
+		MinSpeed: 0,
+		MaxSpeed: 2,
+		MaxPause: 80 * time.Second,
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{P: geom.Point{X: 5, Y: 7}}
+	for _, tm := range []sim.Time{0, time.Second, time.Hour} {
+		if got := s.Position(tm); got != s.P {
+			t.Fatalf("Static.Position(%v) = %v, want %v", tm, got, s.P)
+		}
+	}
+}
+
+func TestWaypointStaysInArea(t *testing.T) {
+	cfg := testConfig()
+	w := NewWaypoint(cfg, sim.NewRNG(1))
+	for ts := sim.Time(0); ts <= 600*time.Second; ts += 500 * time.Millisecond {
+		p := w.Position(ts)
+		if !cfg.Area.Contains(p) {
+			t.Fatalf("position %v at t=%v outside area", p, ts)
+		}
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a := NewWaypoint(cfg, sim.NewRNG(42))
+	b := NewWaypoint(cfg, sim.NewRNG(42))
+	for ts := sim.Time(0); ts <= 300*time.Second; ts += 7 * time.Second {
+		if a.Position(ts) != b.Position(ts) {
+			t.Fatalf("same-seed trajectories diverged at t=%v", ts)
+		}
+	}
+}
+
+func TestWaypointRandomAccessMatchesSequential(t *testing.T) {
+	cfg := testConfig()
+	a := NewWaypoint(cfg, sim.NewRNG(9))
+	b := NewWaypoint(cfg, sim.NewRNG(9))
+
+	// a queried sequentially, b queried at the same times out of order.
+	times := []sim.Time{0, 400 * time.Second, 10 * time.Second, 599 * time.Second, 100 * time.Second}
+	seq := make(map[sim.Time]geom.Point)
+	for ts := sim.Time(0); ts <= 600*time.Second; ts += time.Second {
+		seq[ts] = a.Position(ts)
+	}
+	for _, ts := range times {
+		if got := b.Position(ts); got != seq[ts] {
+			t.Fatalf("random access Position(%v) = %v, want %v", ts, got, seq[ts])
+		}
+	}
+}
+
+func TestWaypointSpeedBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSpeed = 2
+	w := NewWaypoint(cfg, sim.NewRNG(3))
+	const dt = 100 * time.Millisecond
+	prev := w.Position(0)
+	for ts := dt; ts <= 600*time.Second; ts += dt {
+		cur := w.Position(ts)
+		dist := prev.Dist(cur)
+		speed := dist / dt.Seconds()
+		// Allow slack for a leg boundary inside the step (two directions).
+		if speed > 2*cfg.MaxSpeed+1e-9 {
+			t.Fatalf("apparent speed %.3f m/s at t=%v exceeds bound", speed, ts)
+		}
+		prev = cur
+	}
+}
+
+func TestWaypointNegativeTimeClamps(t *testing.T) {
+	w := NewWaypoint(testConfig(), sim.NewRNG(5))
+	if got, want := w.Position(-time.Second), w.Position(0); got != want {
+		t.Fatalf("Position(-1s) = %v, want Position(0) = %v", got, want)
+	}
+}
+
+func TestWaypointZeroMaxSpeedIsStatic(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSpeed = 0
+	w := NewWaypoint(cfg, sim.NewRNG(6))
+	p0 := w.Position(0)
+	for _, ts := range []sim.Time{time.Second, time.Hour, 100 * time.Hour} {
+		if got := w.Position(ts); got != p0 {
+			t.Fatalf("zero-speed node moved: %v -> %v", p0, got)
+		}
+	}
+}
+
+func TestWaypointFixedStart(t *testing.T) {
+	start := geom.Point{X: 50, Y: 60}
+	w := NewWaypointAt(testConfig(), sim.NewRNG(7), start)
+	if got := w.Position(0); got != start {
+		t.Fatalf("Position(0) = %v, want %v", got, start)
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSpeed = 10
+	cfg.MaxPause = time.Second
+	w := NewWaypoint(cfg, sim.NewRNG(8))
+	p0 := w.Position(0)
+	moved := false
+	for ts := sim.Time(0); ts <= 120*time.Second; ts += time.Second {
+		if w.Position(ts).Dist(p0) > 1 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("fast node with short pauses never moved more than 1 m in 120 s")
+	}
+}
+
+func TestWaypointLegsGrowLazily(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSpeed = 10
+	cfg.MaxPause = time.Second
+	w := NewWaypoint(cfg, sim.NewRNG(10))
+	initial := w.Legs()
+	w.Position(0)
+	if w.Legs() != initial {
+		t.Fatal("Position(0) should not generate extra legs")
+	}
+	w.Position(600 * time.Second)
+	if w.Legs() <= initial {
+		t.Fatal("querying far future should extend the trajectory")
+	}
+}
+
+// Property: for random seeds and speeds, positions over a long horizon stay
+// within the area and repeated queries agree.
+func TestWaypointProperty(t *testing.T) {
+	cfg := testConfig()
+	f := func(seed int64, speedTenths uint8) bool {
+		c := cfg
+		c.MaxSpeed = float64(speedTenths%100) / 10 // 0 .. 9.9 m/s
+		w := NewWaypoint(c, sim.NewRNG(seed))
+		for ts := sim.Time(0); ts <= 200*time.Second; ts += 5 * time.Second {
+			p := w.Position(ts)
+			if !c.Area.Contains(p) {
+				return false
+			}
+			if q := w.Position(ts); q != p {
+				return false
+			}
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

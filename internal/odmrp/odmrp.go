@@ -1,0 +1,364 @@
+// Package odmrp implements a compact On-Demand Multicast Routing
+// Protocol (ODMRP, the paper's reference [10]) — the mesh-based
+// multicast protocol the paper names first when claiming Anonymous
+// Gossip generalises beyond MAODV (§5.5, §7).
+//
+// ODMRP in brief: every active source periodically floods a Join Query;
+// group members answer with Join Replies that travel hop-by-hop back
+// along the query's reverse path, setting a soft-state *forwarding
+// group* flag at each relay. Data is broadcast and re-broadcast by
+// forwarding-group nodes, giving a mesh with redundant paths instead of
+// a tree. Reliability still suffers from collisions and stale meshes —
+// which is exactly where AG helps.
+//
+// The gossip engine runs over this substrate through the same two-method
+// Tree interface as over MAODV: mesh neighbours (upstream toward each
+// source plus reply-downstream nodes) act as walk next hops. ODMRP has
+// no nearest-member machinery, so next hops advertise unknown distances
+// and the walk degrades to uniform choice — the paper's locality
+// optimisation (§4.2) is tree-specific.
+package odmrp
+
+import (
+	"errors"
+	"slices"
+	"time"
+
+	"anongossip/internal/gossip"
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// Config parameterises ODMRP.
+type Config struct {
+	// RefreshInterval is the Join Query flood period of an active
+	// source (3 s in the ODMRP literature).
+	RefreshInterval time.Duration
+	// MeshLifetime is how long forwarding-group membership and mesh
+	// links survive without refresh (typically 2–3 refresh periods).
+	MeshLifetime time.Duration
+	// FloodJitter delays query refloods (hidden-terminal mitigation).
+	FloodJitter time.Duration
+	// ForwardJitter delays mesh data rebroadcasts.
+	ForwardJitter time.Duration
+	// CacheSize bounds the duplicate caches.
+	CacheSize int
+	// PayloadLen is the synthetic application payload size.
+	PayloadLen uint16
+}
+
+// DefaultConfig returns literature-standard ODMRP parameters.
+func DefaultConfig() Config {
+	return Config{
+		RefreshInterval: 3 * time.Second,
+		MeshLifetime:    9 * time.Second,
+		FloodJitter:     10 * time.Millisecond,
+		ForwardJitter:   3 * time.Millisecond,
+		CacheSize:       1024,
+		PayloadLen:      64,
+	}
+}
+
+// DeliverFunc consumes data delivered to a member application.
+type DeliverFunc func(group pkt.GroupID, d *pkt.Data, from pkt.NodeID)
+
+// Stats counts ODMRP activity at one node.
+type Stats struct {
+	QueriesSent      uint64
+	QueriesForwarded uint64
+	RepliesSent      uint64
+	RepliesForwarded uint64
+	DataSent         uint64
+	DataDelivered    uint64
+	DataForwarded    uint64
+	DataDuplicates   uint64
+}
+
+// meshLink is a soft-state mesh neighbour.
+type meshLink struct {
+	expires sim.Time
+}
+
+// sourceRoute is the reverse path toward one source.
+type sourceRoute struct {
+	upstream pkt.NodeID
+	seq      uint32
+	hops     uint8
+	expires  sim.Time
+}
+
+// groupState is the per-group ODMRP state.
+type groupState struct {
+	member bool
+	// forwarding is the forwarding-group flag with its lifetime.
+	forwardingUntil sim.Time
+	// routes tracks the freshest reverse path per source.
+	routes map[pkt.NodeID]*sourceRoute
+	// links are mesh neighbours usable by the gossip walk.
+	links map[pkt.NodeID]*meshLink
+
+	dataSeen  map[pkt.SeqKey]struct{}
+	dataOrder []pkt.SeqKey
+	dataNext  int
+
+	refreshTimer *sim.Timer
+	querySeq     uint32
+	nextDataSeq  uint32
+}
+
+// Router is one node's ODMRP entity.
+type Router struct {
+	cfg   Config
+	stack *node.Stack
+	sched *sim.Scheduler
+	rng   *sim.RNG
+
+	groups map[pkt.GroupID]*groupState
+	subs   []DeliverFunc
+	stats  Stats
+}
+
+// New builds an ODMRP router bound to the node stack.
+func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
+	r := &Router{
+		cfg:    cfg,
+		stack:  st,
+		sched:  st.Scheduler(),
+		rng:    rng,
+		groups: make(map[pkt.GroupID]*groupState),
+	}
+	st.Handle(pkt.KindJoinQuery, r.onJoinQuery)
+	st.Handle(pkt.KindJoinReply, r.onJoinReply)
+	st.Handle(pkt.KindData, r.onData)
+	return r
+}
+
+// OnDeliver subscribes to member deliveries.
+func (r *Router) OnDeliver(fn DeliverFunc) { r.subs = append(r.subs, fn) }
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+func (r *Router) groupState(g pkt.GroupID) *groupState {
+	gs, ok := r.groups[g]
+	if !ok {
+		gs = &groupState{
+			routes:   make(map[pkt.NodeID]*sourceRoute),
+			links:    make(map[pkt.NodeID]*meshLink),
+			dataSeen: make(map[pkt.SeqKey]struct{}),
+		}
+		r.groups[g] = gs
+	}
+	return gs
+}
+
+// Join registers group membership; members answer queries and deliver.
+func (r *Router) Join(g pkt.GroupID) { r.groupState(g).member = true }
+
+// Leave revokes membership; soft state decays on its own.
+func (r *Router) Leave(g pkt.GroupID) {
+	if gs, ok := r.groups[g]; ok {
+		gs.member = false
+	}
+}
+
+// IsMember reports membership (part of the gossip Tree interface).
+func (r *Router) IsMember(g pkt.GroupID) bool {
+	gs, ok := r.groups[g]
+	return ok && gs.member
+}
+
+// NextHops exposes live mesh links to the gossip walk (part of the
+// gossip Tree interface). Distances are unknown: ODMRP keeps no
+// nearest-member state.
+func (r *Router) NextHops(g pkt.GroupID) []gossip.NextHop {
+	gs, ok := r.groups[g]
+	if !ok {
+		return nil
+	}
+	now := r.sched.Now()
+	ids := make([]pkt.NodeID, 0, len(gs.links))
+	for id, l := range gs.links {
+		if l.expires > now {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	out := make([]gossip.NextHop, len(ids))
+	for i, id := range ids {
+		out[i] = gossip.NextHop{ID: id, Nearest: pkt.NearestUnknown}
+	}
+	return out
+}
+
+var _ gossip.Tree = (*Router)(nil)
+
+// ErrNotMember reports SendData from a non-member.
+var ErrNotMember = errors.New("odmrp: node is not a member of the group")
+
+// SendData multicasts one payload. The first send activates the
+// source's periodic Join Query refresh.
+func (r *Router) SendData(g pkt.GroupID) (pkt.SeqKey, error) {
+	gs := r.groupState(g)
+	if !gs.member {
+		return pkt.SeqKey{}, ErrNotMember
+	}
+	if gs.refreshTimer == nil {
+		r.refresh(g, gs) // on-demand: first data activates the mesh
+	}
+	gs.nextDataSeq++
+	d := &pkt.Data{Group: g, Origin: r.stack.ID(), Seq: gs.nextDataSeq, PayloadLen: r.cfg.PayloadLen}
+	r.noteData(gs, d.Key())
+	r.stats.DataSent++
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, d))
+	return d.Key(), nil
+}
+
+// refresh floods a Join Query and reschedules itself.
+func (r *Router) refresh(g pkt.GroupID, gs *groupState) {
+	gs.querySeq++
+	r.stats.QueriesSent++
+	q := &pkt.JoinQuery{Group: g, Source: r.stack.ID(), Seq: gs.querySeq, HopCount: 0}
+	r.stack.SendBroadcast(pkt.NewPacket(r.stack.ID(), pkt.Broadcast, q))
+	gs.refreshTimer = r.sched.After(r.cfg.RefreshInterval, func() { r.refresh(g, gs) })
+}
+
+func (r *Router) onJoinQuery(p *pkt.Packet, from pkt.NodeID) {
+	q, ok := p.Body.(*pkt.JoinQuery)
+	if !ok {
+		return
+	}
+	if q.Source == r.stack.ID() {
+		return // own flood echo
+	}
+	gs := r.groupState(q.Group)
+	rt, have := gs.routes[q.Source]
+	now := r.sched.Now()
+	if have && rt.expires > now && !newerSeq(q.Seq, rt.seq) {
+		return // stale or duplicate query
+	}
+	if !have {
+		rt = &sourceRoute{}
+		gs.routes[q.Source] = rt
+	}
+	rt.upstream = from
+	rt.seq = q.Seq
+	rt.hops = q.HopCount + 1
+	rt.expires = now + r.cfg.MeshLifetime
+
+	// Members answer: the reply walks back toward the source, enlisting
+	// the forwarding group.
+	if gs.member {
+		r.stats.RepliesSent++
+		rep := &pkt.JoinReply{Group: q.Group, Source: q.Source, Member: r.stack.ID(), Seq: q.Seq}
+		r.stack.SendDirect(from, pkt.NewPacket(r.stack.ID(), from, rep))
+		r.touchLink(gs, from)
+	}
+
+	// Reflood.
+	if p.TTL > 1 {
+		cp := p.Clone()
+		cp.TTL--
+		body, okBody := cp.Body.(*pkt.JoinQuery)
+		if !okBody {
+			return
+		}
+		body.HopCount = q.HopCount + 1
+		r.stats.QueriesForwarded++
+		r.sched.After(r.rng.Duration(r.cfg.FloodJitter), func() {
+			r.stack.SendBroadcast(cp)
+		})
+	}
+}
+
+func (r *Router) onJoinReply(p *pkt.Packet, from pkt.NodeID) {
+	rep, ok := p.Body.(*pkt.JoinReply)
+	if !ok {
+		return
+	}
+	gs := r.groupState(rep.Group)
+	now := r.sched.Now()
+	r.touchLink(gs, from)
+
+	if rep.Source == r.stack.ID() {
+		return // reached the source: mesh branch complete
+	}
+	rt, have := gs.routes[rep.Source]
+	if !have || rt.expires <= now {
+		return // no fresh reverse path; the branch dies here
+	}
+	// Join the forwarding group and pass the reply upstream.
+	gs.forwardingUntil = now + r.cfg.MeshLifetime
+	r.touchLink(gs, rt.upstream)
+	r.stats.RepliesForwarded++
+	cp, okBody := rep.CloneBody().(*pkt.JoinReply)
+	if !okBody {
+		return
+	}
+	r.stack.SendDirect(rt.upstream, pkt.NewPacket(r.stack.ID(), rt.upstream, cp))
+}
+
+func (r *Router) onData(p *pkt.Packet, from pkt.NodeID) {
+	d, ok := p.Body.(*pkt.Data)
+	if !ok {
+		return
+	}
+	gs, have := r.groups[d.Group]
+	if !have {
+		return
+	}
+	if _, dup := gs.dataSeen[d.Key()]; dup {
+		r.stats.DataDuplicates++
+		return
+	}
+	r.noteData(gs, d.Key())
+	r.touchLink(gs, from)
+
+	if gs.member {
+		r.stats.DataDelivered++
+		for _, fn := range r.subs {
+			fn(d.Group, d, from)
+		}
+	}
+	// Forwarding-group nodes (and members, which always forward in
+	// ODMRP) rebroadcast within the mesh.
+	now := r.sched.Now()
+	if !gs.member && gs.forwardingUntil <= now {
+		return
+	}
+	if p.TTL <= 1 {
+		return
+	}
+	cp := p.Clone()
+	cp.TTL--
+	r.stats.DataForwarded++
+	r.sched.After(r.rng.Duration(r.cfg.ForwardJitter), func() {
+		r.stack.SendBroadcast(cp)
+	})
+}
+
+func (r *Router) touchLink(gs *groupState, id pkt.NodeID) {
+	l, ok := gs.links[id]
+	if !ok {
+		l = &meshLink{}
+		gs.links[id] = l
+	}
+	l.expires = r.sched.Now() + r.cfg.MeshLifetime
+}
+
+func (r *Router) noteData(gs *groupState, k pkt.SeqKey) {
+	if _, dup := gs.dataSeen[k]; dup {
+		return
+	}
+	if len(gs.dataOrder) < r.cfg.CacheSize {
+		gs.dataOrder = append(gs.dataOrder, k)
+	} else {
+		delete(gs.dataSeen, gs.dataOrder[gs.dataNext])
+		gs.dataOrder[gs.dataNext] = k
+		gs.dataNext = (gs.dataNext + 1) % r.cfg.CacheSize
+	}
+	gs.dataSeen[k] = struct{}{}
+}
+
+func newerSeq(a, b uint32) bool { return int32(a-b) > 0 }

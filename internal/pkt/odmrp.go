@@ -1,0 +1,101 @@
+package pkt
+
+import "fmt"
+
+// ODMRP messages (paper §5.5 / §7 future work: "Implementing anonymous
+// gossip with other multicast protocols, such as ODMRP and AMRIS, could
+// also be done in a similar manner"). ODMRP is mesh-based: sources
+// periodically flood Join Queries; members answer with Join Replies that
+// walk back toward the source, enlisting relays into the forwarding
+// group. Data floods within the forwarding group.
+
+// Additional packet kinds for the ODMRP substrate. Values continue the
+// wire-stable sequence in pkt.go.
+const (
+	KindJoinQuery Kind = iota + 32
+	KindJoinReply Kind = iota + 32
+)
+
+// JoinQuery is the source's periodic flood refreshing mesh routes.
+type JoinQuery struct {
+	Group GroupID
+	// Source is the flooding data source; Seq its refresh counter.
+	Source NodeID
+	Seq    uint32
+	// HopCount counts hops from the source.
+	HopCount uint8
+}
+
+var _ Body = (*JoinQuery)(nil)
+
+// Kind implements Body.
+func (*JoinQuery) Kind() Kind { return KindJoinQuery }
+
+// WireSize implements Body.
+func (*JoinQuery) WireSize() int { return 13 }
+
+// AppendTo implements Body.
+func (q *JoinQuery) AppendTo(b []byte) []byte {
+	b = appendU32(b, uint32(q.Group))
+	b = appendU32(b, uint32(q.Source))
+	b = appendU32(b, q.Seq)
+	return append(b, q.HopCount)
+}
+
+// CloneBody implements Body.
+func (q *JoinQuery) CloneBody() Body { cp := *q; return &cp }
+
+func decodeJoinQuery(b []byte) (Body, error) {
+	if len(b) != 13 {
+		return nil, fmt.Errorf("join-query: %w", ErrTruncated)
+	}
+	return &JoinQuery{
+		Group:    GroupID(u32(b)),
+		Source:   NodeID(u32(b[4:])),
+		Seq:      u32(b[8:]),
+		HopCount: b[12],
+	}, nil
+}
+
+// JoinReply travels hop-by-hop from a member back toward the source,
+// setting the forwarding-group flag at each relay.
+type JoinReply struct {
+	Group GroupID
+	// Source identifies whose query this answers; Member is the
+	// responding group member.
+	Source NodeID
+	Member NodeID
+	// Seq echoes the query refresh counter.
+	Seq uint32
+}
+
+var _ Body = (*JoinReply)(nil)
+
+// Kind implements Body.
+func (*JoinReply) Kind() Kind { return KindJoinReply }
+
+// WireSize implements Body.
+func (*JoinReply) WireSize() int { return 16 }
+
+// AppendTo implements Body.
+func (r *JoinReply) AppendTo(b []byte) []byte {
+	b = appendU32(b, uint32(r.Group))
+	b = appendU32(b, uint32(r.Source))
+	b = appendU32(b, uint32(r.Member))
+	return appendU32(b, r.Seq)
+}
+
+// CloneBody implements Body.
+func (r *JoinReply) CloneBody() Body { cp := *r; return &cp }
+
+func decodeJoinReply(b []byte) (Body, error) {
+	if len(b) != 16 {
+		return nil, fmt.Errorf("join-reply: %w", ErrTruncated)
+	}
+	return &JoinReply{
+		Group:  GroupID(u32(b)),
+		Source: NodeID(u32(b[4:])),
+		Member: NodeID(u32(b[8:])),
+		Seq:    u32(b[12:]),
+	}, nil
+}

@@ -1,0 +1,302 @@
+package pkt
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sampleBodies returns one representative of every body type, with
+// non-trivial field values.
+func sampleBodies() []Body {
+	return []Body{
+		&Hello{Seq: 77},
+		&RREQ{Flags: RREQJoin | RREQRepair, HopCount: 3, ID: 9, Dst: 0xE0000001,
+			DstSeq: 12, Orig: 4, OrigSeq: 8, LeaderHops: 5},
+		&RREP{Flags: RREPMulticast | RREPMember, HopCount: 2, Dst: 0xE0000001, DstSeq: 13,
+			Orig: 4, LifetimeMS: 3000, Leader: 9, Replier: 11, LeaderHops: 2, RREQID: 9},
+		&RERR{Dests: []Unreachable{{Addr: 3, Seq: 5}, {Addr: 8, Seq: 0}}},
+		&MACT{Group: 0xE0000001, Src: 6, Flags: MACTJoin, HopsFromOrigin: 4, RREQID: 2},
+		&GRPH{Group: 0xE0000001, Leader: 1, GroupSeq: 42, HopCount: 7},
+		&Nearest{Group: 0xE0000001, Dist: 3},
+		&Data{Group: 0xE0000001, Origin: 2, Seq: 1001, PayloadLen: 64},
+		&GossipReq{Group: 0xE0000001, Initiator: 5, Flags: GossipCached | GossipNoReply, HopsTraveled: 2,
+			Lost:     []SeqKey{{Origin: 2, Seq: 17}, {Origin: 2, Seq: 19}},
+			Expected: []Expect{{Origin: 2, NextSeq: 25}},
+			Pushed:   []Data{{Group: 0xE0000001, Origin: 2, Seq: 30, PayloadLen: 64}}},
+		&GossipRep{Group: 0xE0000001, Responder: 7, WalkHops: 3,
+			Msgs: []Data{
+				{Group: 0xE0000001, Origin: 2, Seq: 17, PayloadLen: 64},
+				{Group: 0xE0000001, Origin: 2, Seq: 19, PayloadLen: 64},
+			}},
+		&JoinQuery{Group: 0xE0000001, Source: 3, Seq: 12, HopCount: 2},
+		&JoinReply{Group: 0xE0000001, Source: 3, Member: 8, Seq: 12},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, body := range sampleBodies() {
+		body := body
+		t.Run(body.Kind().String(), func(t *testing.T) {
+			p := NewPacket(3, 9, body)
+			p.TTL = 17
+			raw := Encode(p)
+			if len(raw) != p.WireSize() {
+				t.Fatalf("encoded length %d != WireSize %d", len(raw), p.WireSize())
+			}
+			got, err := Decode(raw)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, p) {
+				t.Fatalf("round trip mismatch:\n got %+v (body %+v)\nwant %+v (body %+v)",
+					got, got.Body, p, p.Body)
+			}
+		})
+	}
+}
+
+func TestWireSizeMatchesAppendTo(t *testing.T) {
+	for _, body := range sampleBodies() {
+		if got := len(body.AppendTo(nil)); got != body.WireSize() {
+			t.Errorf("%s: AppendTo produced %d bytes, WireSize says %d",
+				body.Kind(), got, body.WireSize())
+		}
+	}
+}
+
+func TestCloneBodyIsDeep(t *testing.T) {
+	rerr := &RERR{Dests: []Unreachable{{Addr: 1, Seq: 2}}}
+	clone, ok := rerr.CloneBody().(*RERR)
+	if !ok {
+		t.Fatal("CloneBody returned wrong type")
+	}
+	clone.Dests[0].Addr = 99
+	if rerr.Dests[0].Addr != 1 {
+		t.Fatal("RERR clone shares Dests backing array")
+	}
+
+	req := &GossipReq{Lost: []SeqKey{{Origin: 1, Seq: 1}}, Expected: []Expect{{Origin: 1, NextSeq: 5}}}
+	reqClone, ok := req.CloneBody().(*GossipReq)
+	if !ok {
+		t.Fatal("CloneBody returned wrong type")
+	}
+	reqClone.Lost[0].Seq = 42
+	reqClone.Expected[0].NextSeq = 42
+	if req.Lost[0].Seq != 1 || req.Expected[0].NextSeq != 5 {
+		t.Fatal("GossipReq clone shares slices")
+	}
+
+	rep := &GossipRep{Msgs: []Data{{Seq: 1}}}
+	repClone, ok := rep.CloneBody().(*GossipRep)
+	if !ok {
+		t.Fatal("CloneBody returned wrong type")
+	}
+	repClone.Msgs[0].Seq = 9
+	if rep.Msgs[0].Seq != 1 {
+		t.Fatal("GossipRep clone shares Msgs")
+	}
+}
+
+func TestPacketCloneIndependence(t *testing.T) {
+	p := NewPacket(1, 2, &RREQ{HopCount: 1, ID: 5})
+	c := p.Clone()
+	c.TTL--
+	if body, ok := c.Body.(*RREQ); ok {
+		body.HopCount++
+	} else {
+		t.Fatal("clone body type mismatch")
+	}
+	orig, ok := p.Body.(*RREQ)
+	if !ok {
+		t.Fatal("original body type mismatch")
+	}
+	if p.TTL != DefaultTTL || orig.HopCount != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := Encode(NewPacket(1, 2, &Hello{Seq: 1}))
+
+	tests := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:8], ErrTruncated},
+		{"truncated body", valid[:len(valid)-2], ErrTruncated},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xAA), ErrTrailingBytes},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.raw); !errors.Is(err, tt.want) {
+				t.Fatalf("Decode err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+
+	t.Run("unknown kind", func(t *testing.T) {
+		bad := append([]byte{}, valid...)
+		bad[0] = 0xEE
+		if _, err := Decode(bad); !errors.Is(err, ErrUnknownKind) {
+			t.Fatalf("Decode err = %v, want ErrUnknownKind", err)
+		}
+	})
+}
+
+func TestDecodeBodyLengthMismatch(t *testing.T) {
+	// A GRPH body must be exactly 13 bytes; hand it 4.
+	p := NewPacket(1, 2, &Hello{Seq: 1})
+	raw := Encode(p)
+	raw[0] = byte(KindGRPH)
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("decoding a hello body as GRPH succeeded")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, b := range sampleBodies() {
+		if s := b.Kind().String(); s == "" || s[0] == 'K' {
+			t.Errorf("kind %d missing a name: %q", b.Kind(), s)
+		}
+	}
+	if got := Kind(200).String(); got != "KIND(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	control := map[Kind]bool{
+		KindHello: true, KindRREQ: true, KindRREP: true, KindRERR: true,
+		KindMACT: true, KindGRPH: true, KindNearest: true,
+		KindData: false, KindGossipReq: true, KindGossipRep: false,
+	}
+	for k, want := range control {
+		if got := k.IsControl(); got != want {
+			t.Errorf("%s.IsControl() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := Broadcast.String(); got != "*" {
+		t.Errorf("Broadcast.String() = %q", got)
+	}
+	if got := NodeID(7).String(); got != "n7" {
+		t.Errorf("NodeID(7).String() = %q", got)
+	}
+	if got := GroupID(3).String(); got != "g3" {
+		t.Errorf("GroupID(3).String() = %q", got)
+	}
+	if got := (SeqKey{Origin: 2, Seq: 9}).String(); got != "n2#9" {
+		t.Errorf("SeqKey.String() = %q", got)
+	}
+}
+
+// randomGossipReq builds a GossipReq with random bounded contents.
+func randomGossipReq(r *rand.Rand) *GossipReq {
+	g := &GossipReq{
+		Group:        GroupID(r.Uint32()),
+		Initiator:    NodeID(r.Uint32() >> 1), // keep below Broadcast
+		Flags:        uint8(r.Intn(2)),
+		HopsTraveled: uint8(r.Intn(32)),
+	}
+	for i, n := 0, r.Intn(10); i < n; i++ {
+		g.Lost = append(g.Lost, SeqKey{Origin: NodeID(r.Uint32() >> 1), Seq: r.Uint32()})
+	}
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		g.Expected = append(g.Expected, Expect{Origin: NodeID(r.Uint32() >> 1), NextSeq: r.Uint32()})
+	}
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		g.Pushed = append(g.Pushed, Data{
+			Group:      GroupID(r.Uint32()),
+			Origin:     NodeID(r.Uint32() >> 1),
+			Seq:        r.Uint32(),
+			PayloadLen: uint16(r.Intn(128)),
+		})
+	}
+	return g
+}
+
+// Property: encode/decode is the identity on random gossip requests (the
+// most structurally complex body).
+func TestGossipReqRoundTripProperty(t *testing.T) {
+	f := func(seed int64, src, dst uint32, ttl uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := &Packet{Kind: KindGossipReq, Src: NodeID(src), Dst: NodeID(dst), TTL: ttl,
+			Body: randomGossipReq(r)}
+		raw := Encode(p)
+		if len(raw) != p.WireSize() {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		// Normalise nil vs empty slices before comparing.
+		gb, ok := got.Body.(*GossipReq)
+		if !ok {
+			return false
+		}
+		pb, ok := p.Body.(*GossipReq)
+		if !ok {
+			return false
+		}
+		if len(gb.Lost) == 0 && len(pb.Lost) == 0 {
+			gb.Lost, pb.Lost = nil, nil
+		}
+		if len(gb.Expected) == 0 && len(pb.Expected) == 0 {
+			gb.Expected, pb.Expected = nil, nil
+		}
+		if len(gb.Pushed) == 0 && len(pb.Pushed) == 0 {
+			gb.Pushed, pb.Pushed = nil, nil
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", raw, r)
+			}
+		}()
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary bytes with a valid header structure never
+// panics either (exercises body decoders more deeply than pure noise).
+func TestDecodeStructuredFuzzNoPanic(t *testing.T) {
+	f := func(kind uint8, body []byte) bool {
+		if len(body) > 0xFFFF {
+			body = body[:0xFFFF]
+		}
+		raw := []byte{kind, 0, 0, 0, 1, 0, 0, 0, 2, 32}
+		raw = append(raw, byte(len(body)>>8), byte(len(body)))
+		raw = append(raw, body...)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on kind=%d len=%d: %v", kind, len(body), r)
+			}
+		}()
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

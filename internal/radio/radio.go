@@ -1,0 +1,303 @@
+// Package radio models the wireless channel: unit-disc propagation with a
+// configurable transmission range (the paper sweeps 45–85 m), physical
+// carrier sense, and an overlap-based collision model.
+//
+// The model captures the loss processes the paper's results depend on:
+//
+//   - two receptions overlapping in time at a receiver corrupt each other
+//     (including the hidden-terminal case, where the two transmitters are
+//     out of each other's range);
+//   - a half-duplex node cannot receive while transmitting;
+//   - a node senses the channel busy while any in-range node transmits.
+//
+// It deliberately omits SINR/capture effects: any overlap corrupts. This
+// is the same granularity as GloMoSim's default no-capture configuration.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/mobility"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// Params configures the channel.
+type Params struct {
+	// Range is the transmission (and carrier-sense) radius in metres.
+	Range float64
+}
+
+// Stats aggregates channel-level counters for the whole medium.
+type Stats struct {
+	// Transmissions counts StartTx calls.
+	Transmissions uint64
+	// Deliveries counts receptions handed up intact.
+	Deliveries uint64
+	// Collisions counts receptions corrupted by overlap or half-duplex
+	// conflicts.
+	Collisions uint64
+}
+
+// Handler receives the outcome of a reception. frame is the value passed
+// to StartTx; ok is false when the reception was corrupted.
+type Handler func(frame any, from pkt.NodeID, ok bool)
+
+// transmission is one frame on the air.
+type transmission struct {
+	from   *Transceiver
+	frame  any
+	start  sim.Time
+	end    sim.Time
+	origin geom.Point
+}
+
+// reception tracks one frame arriving at one transceiver.
+type reception struct {
+	tx        *transmission
+	corrupted bool
+}
+
+// Medium is the shared channel all transceivers attach to.
+type Medium struct {
+	sched  *sim.Scheduler
+	params Params
+	nodes  []*Transceiver
+	active []*transmission
+	stats  Stats
+}
+
+// NewMedium creates a channel managed by sched.
+func NewMedium(sched *sim.Scheduler, params Params) *Medium {
+	return &Medium{sched: sched, params: params}
+}
+
+// Stats returns a copy of the channel counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Range returns the configured transmission radius in metres.
+func (m *Medium) Range() float64 { return m.params.Range }
+
+// Attach registers a transceiver for a node. The handler is invoked at the
+// end of each reception. Handlers run inside the simulation event loop.
+func (m *Medium) Attach(id pkt.NodeID, pos mobility.Model, h Handler) *Transceiver {
+	t := &Transceiver{id: id, medium: m, pos: pos, handler: h}
+	m.nodes = append(m.nodes, t)
+	return t
+}
+
+// ErrAlreadyTransmitting reports a StartTx while a previous transmission
+// from the same transceiver is still on the air. The MAC layer serialises
+// transmissions, so hitting this indicates a MAC bug.
+var ErrAlreadyTransmitting = errors.New("radio: transceiver already transmitting")
+
+// Transceiver is one node's attachment to the medium.
+type Transceiver struct {
+	id      pkt.NodeID
+	medium  *Medium
+	pos     mobility.Model
+	handler Handler
+
+	txEnd      sim.Time // end of own in-flight transmission, 0 if idle
+	receptions []*reception
+
+	// Per-node counters.
+	sent      uint64
+	delivered uint64
+	collided  uint64
+}
+
+// ID returns the node ID this transceiver belongs to.
+func (t *Transceiver) ID() pkt.NodeID { return t.id }
+
+// Position returns the node's position at the current simulation time.
+func (t *Transceiver) Position() geom.Point {
+	return t.pos.Position(t.medium.sched.Now())
+}
+
+// Transmitting reports whether the transceiver has a frame on the air.
+func (t *Transceiver) Transmitting() bool {
+	return t.txEnd > t.medium.sched.Now()
+}
+
+// Counters returns (frames sent, receptions delivered, receptions
+// corrupted) for this transceiver.
+func (t *Transceiver) Counters() (sent, delivered, collided uint64) {
+	return t.sent, t.delivered, t.collided
+}
+
+// CarrierBusyUntil returns the latest end time of any in-range
+// transmission (including the node's own). A result <= now means the
+// channel is idle at the sensing node.
+func (t *Transceiver) CarrierBusyUntil() sim.Time {
+	m := t.medium
+	now := m.sched.Now()
+	var until sim.Time
+	if t.txEnd > now {
+		until = t.txEnd
+	}
+	if len(m.active) == 0 {
+		return until
+	}
+	p := t.pos.Position(now)
+	r2 := m.params.Range * m.params.Range
+	for _, tx := range m.active {
+		if tx.from == t || tx.end <= now {
+			continue
+		}
+		if p.Dist2(tx.origin) <= r2 && tx.end > until {
+			until = tx.end
+		}
+	}
+	return until
+}
+
+// StartTx puts frame on the air for airtime. Receivers are the nodes
+// within range at the start of the transmission; each receives the frame
+// (or a corruption notice) when the airtime elapses.
+func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
+	m := t.medium
+	now := m.sched.Now()
+	if t.txEnd > now {
+		return fmt.Errorf("%w: node %s", ErrAlreadyTransmitting, t.id)
+	}
+	if airtime <= 0 {
+		return fmt.Errorf("radio: non-positive airtime %v", airtime)
+	}
+
+	origin := t.pos.Position(now)
+	tx := &transmission{from: t, frame: frame, start: now, end: now + airtime, origin: origin}
+	m.active = append(m.active, tx)
+	m.stats.Transmissions++
+	t.sent++
+	t.txEnd = tx.end
+
+	// Transmitting corrupts anything this node was in the middle of
+	// receiving (half-duplex).
+	for _, rec := range t.receptions {
+		if !rec.corrupted {
+			rec.corrupted = true
+		}
+	}
+
+	r2 := m.params.Range * m.params.Range
+	for _, rcv := range m.nodes {
+		if rcv == t {
+			continue
+		}
+		if rcv.pos.Position(now).Dist2(origin) > r2 {
+			continue
+		}
+		rec := &reception{tx: tx}
+		// A node mid-transmission cannot hear the frame, and any
+		// receptions already in progress at the receiver collide with
+		// the new one.
+		if rcv.txEnd > now {
+			rec.corrupted = true
+		}
+		for _, other := range rcv.receptions {
+			other.corrupted = true
+			rec.corrupted = true
+		}
+		rcv.receptions = append(rcv.receptions, rec)
+		rcv := rcv
+		m.sched.At(tx.end, func() { rcv.finishReception(rec) })
+	}
+
+	m.sched.At(tx.end, func() { m.removeTransmission(tx) })
+	return nil
+}
+
+func (t *Transceiver) finishReception(rec *reception) {
+	// Drop rec from the active set.
+	for i, r := range t.receptions {
+		if r == rec {
+			last := len(t.receptions) - 1
+			t.receptions[i] = t.receptions[last]
+			t.receptions[last] = nil
+			t.receptions = t.receptions[:last]
+			break
+		}
+	}
+	// A node still transmitting when the frame ends cannot have heard it.
+	if t.txEnd > t.medium.sched.Now() {
+		rec.corrupted = true
+	}
+	if rec.corrupted {
+		t.collided++
+		t.medium.stats.Collisions++
+	} else {
+		t.delivered++
+		t.medium.stats.Deliveries++
+	}
+	if t.handler != nil {
+		t.handler(rec.tx.frame, rec.tx.from.id, !rec.corrupted)
+	}
+}
+
+func (m *Medium) removeTransmission(tx *transmission) {
+	for i, a := range m.active {
+		if a == tx {
+			last := len(m.active) - 1
+			m.active[i] = m.active[last]
+			m.active[last] = nil
+			m.active = m.active[:last]
+			return
+		}
+	}
+}
+
+// NeighborsOf returns the IDs of all nodes currently within range of node
+// id. It is used by diagnostics and topology metrics, not by protocols
+// (which must discover neighbours through the channel, as in the paper).
+func (m *Medium) NeighborsOf(id pkt.NodeID) []pkt.NodeID {
+	var self *Transceiver
+	for _, t := range m.nodes {
+		if t.id == id {
+			self = t
+			break
+		}
+	}
+	if self == nil {
+		return nil
+	}
+	now := m.sched.Now()
+	p := self.pos.Position(now)
+	r2 := m.params.Range * m.params.Range
+	var out []pkt.NodeID
+	for _, t := range m.nodes {
+		if t == self {
+			continue
+		}
+		if t.pos.Position(now).Dist2(p) <= r2 {
+			out = append(out, t.id)
+		}
+	}
+	return out
+}
+
+// MeanDegree returns the average neighbour count over all attached nodes
+// at the current time. The Fig. 6 experiment uses it to scale range with
+// node count.
+func (m *Medium) MeanDegree() float64 {
+	if len(m.nodes) == 0 {
+		return 0
+	}
+	now := m.sched.Now()
+	pts := make([]geom.Point, len(m.nodes))
+	for i, t := range m.nodes {
+		pts[i] = t.pos.Position(now)
+	}
+	r2 := m.params.Range * m.params.Range
+	var links int
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) <= r2 {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(len(m.nodes))
+}

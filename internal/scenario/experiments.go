@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"anongossip/internal/stats"
+)
+
+// Aggregate summarises one protocol at one sweep point across seeds: the
+// union of all member observations (the paper's error bars span the full
+// receiver set) plus mean goodput.
+type Aggregate struct {
+	// Received is the union summary of per-member delivery counts over
+	// all seeds.
+	Received stats.Summary
+	// Goodput is the mean member goodput across seeds.
+	Goodput float64
+	// Sent is the per-run packet count (identical across seeds).
+	Sent int
+}
+
+// DeliveryRatio is mean delivery over packets sent, in [0, 1].
+func (a Aggregate) DeliveryRatio() float64 {
+	if a.Sent == 0 {
+		return 0
+	}
+	return a.Received.Mean / float64(a.Sent)
+}
+
+// RunSeeds executes cfg once per seed, in parallel, and returns the
+// per-seed results in seed order.
+func RunSeeds(cfg Config, seeds []int64, parallel int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = seed
+			results[i], errs[i] = Run(c)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// AggregateResults merges per-seed results into one Aggregate.
+func AggregateResults(results []*Result) Aggregate {
+	var agg Aggregate
+	var goodputSum float64
+	for _, r := range results {
+		agg.Received = stats.Merge(agg.Received, r.Received)
+		goodputSum += r.MeanGoodput()
+		agg.Sent = r.Sent
+	}
+	if len(results) > 0 {
+		agg.Goodput = goodputSum / float64(len(results))
+	}
+	return agg
+}
+
+// ComparisonRow is one x-axis point of a Gossip-vs-MAODV figure.
+type ComparisonRow struct {
+	X      float64
+	Gossip Aggregate
+	Maodv  Aggregate
+}
+
+// RunComparison sweeps xs, running both protocols at each point with the
+// given seeds, mirroring the paper's paired curves. apply customises the
+// base config for an x value. progress (optional) receives one line per
+// completed point.
+func RunComparison(base Config, xs []float64, apply func(Config, float64) Config,
+	seeds []int64, parallel int, progress io.Writer) ([]ComparisonRow, error) {
+	rows := make([]ComparisonRow, 0, len(xs))
+	for _, x := range xs {
+		cfg := apply(base, x)
+
+		cfg.Protocol = ProtocolGossip
+		gRes, err := RunSeeds(cfg, seeds, parallel)
+		if err != nil {
+			return nil, fmt.Errorf("gossip at x=%v: %w", x, err)
+		}
+		cfg.Protocol = ProtocolMAODV
+		mRes, err := RunSeeds(cfg, seeds, parallel)
+		if err != nil {
+			return nil, fmt.Errorf("maodv at x=%v: %w", x, err)
+		}
+		row := ComparisonRow{X: x, Gossip: AggregateResults(gRes), Maodv: AggregateResults(mRes)}
+		rows = append(rows, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "x=%-7.2f gossip %7.1f [%5.0f,%5.0f]   maodv %7.1f [%5.0f,%5.0f]\n",
+				x, row.Gossip.Received.Mean, row.Gossip.Received.Min, row.Gossip.Received.Max,
+				row.Maodv.Received.Mean, row.Maodv.Received.Min, row.Maodv.Received.Max)
+		}
+	}
+	return rows, nil
+}
+
+// --- paper figure definitions (see DESIGN.md experiment index) ---
+
+// Seeds returns the canonical seed list (the paper uses 10 random
+// seeds).
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// Fig2Xs is the transmission-range sweep 45..85 m in 5 m steps.
+func Fig2Xs() []float64 { return rangeXs(45, 85, 5) }
+
+// Fig3Xs equals Fig2Xs (the figures differ in max speed only).
+func Fig3Xs() []float64 { return Fig2Xs() }
+
+// Fig4Xs is the low-speed sweep 0.1..1.0 m/s in 0.1 steps.
+func Fig4Xs() []float64 { return rangeXs(0.1, 1.0, 0.1) }
+
+// Fig5Xs is the high-speed sweep 1..10 m/s in 1 m/s steps.
+func Fig5Xs() []float64 { return rangeXs(1, 10, 1) }
+
+// Fig6Xs and Fig7Xs sweep the node count 40..100.
+func Fig6Xs() []float64 { return rangeXs(40, 100, 15) }
+
+// Fig7Xs sweeps node count at a fixed 55 m range.
+func Fig7Xs() []float64 { return Fig6Xs() }
+
+func rangeXs(lo, hi, step float64) []float64 {
+	var out []float64
+	for x := lo; x <= hi+1e-9; x += step {
+		out = append(out, math.Round(x*100)/100)
+	}
+	return out
+}
+
+// ApplyFig2 sets the transmission range (40 nodes, 0.2 m/s).
+func ApplyFig2(c Config, x float64) Config {
+	c.Nodes, c.MaxSpeed, c.TxRange = 40, 0.2, x
+	return c
+}
+
+// ApplyFig3 sets the transmission range (40 nodes, 2 m/s).
+func ApplyFig3(c Config, x float64) Config {
+	c.Nodes, c.MaxSpeed, c.TxRange = 40, 2, x
+	return c
+}
+
+// ApplyFig4And5 sets the max speed (40 nodes, 75 m range).
+func ApplyFig4And5(c Config, x float64) Config {
+	c.Nodes, c.TxRange, c.MaxSpeed = 40, 75, x
+	return c
+}
+
+// ApplyFig6 sets the node count, scaling the range to keep the mean
+// neighbour count of the 40-node/75 m baseline: the expected degree in a
+// uniform deployment scales with n·r², so r(n) = 75·sqrt(40/n).
+func ApplyFig6(c Config, x float64) Config {
+	c.MaxSpeed = 0.2
+	c.Nodes = int(x)
+	c.TxRange = 75 * math.Sqrt(40/x)
+	return c
+}
+
+// ApplyFig7 sets the node count at a fixed 55 m range (0.2 m/s).
+func ApplyFig7(c Config, x float64) Config {
+	c.MaxSpeed = 0.2
+	c.TxRange = 55
+	c.Nodes = int(x)
+	return c
+}
+
+// GoodputCase is one of Fig. 8's four (range, speed) combinations.
+type GoodputCase struct {
+	TxRange  float64
+	MaxSpeed float64
+}
+
+// Fig8Cases returns the paper's four goodput configurations.
+func Fig8Cases() []GoodputCase {
+	return []GoodputCase{
+		{TxRange: 45, MaxSpeed: 0.2},
+		{TxRange: 75, MaxSpeed: 0.2},
+		{TxRange: 45, MaxSpeed: 2},
+		{TxRange: 75, MaxSpeed: 2},
+	}
+}
+
+// GoodputRow reports per-member goodput for one Fig. 8 case.
+type GoodputRow struct {
+	Case GoodputCase
+	// PerMember holds each member's goodput percentage, ordered by node
+	// ID, concatenated across seeds.
+	PerMember []float64
+	Summary   stats.Summary
+}
+
+// RunGoodput executes the Fig. 8 experiment for one case.
+func RunGoodput(base Config, gc GoodputCase, seeds []int64, parallel int) (GoodputRow, error) {
+	cfg := base
+	cfg.Protocol = ProtocolGossip
+	cfg.Nodes = 40
+	cfg.TxRange = gc.TxRange
+	cfg.MaxSpeed = gc.MaxSpeed
+	results, err := RunSeeds(cfg, seeds, parallel)
+	if err != nil {
+		return GoodputRow{}, err
+	}
+	row := GoodputRow{Case: gc}
+	for _, r := range results {
+		for _, m := range r.Members {
+			row.PerMember = append(row.PerMember, m.Goodput)
+		}
+	}
+	row.Summary = stats.Summarize(row.PerMember)
+	return row, nil
+}

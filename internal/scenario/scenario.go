@@ -1,0 +1,569 @@
+// Package scenario assembles complete simulations matching the paper's
+// evaluation environment (§5.1): a 200 m × 200 m terrain, random-waypoint
+// mobility with pauses uniform in [0, 80 s], IEEE 802.11 at 2 Mbps, one
+// multicast group containing a third of the nodes, and a single CBR
+// source sending 64-byte packets every 200 ms from t=120 s to t=560 s
+// (2201 packets) in a 600 s run.
+//
+// It also provides seed-parallel sweep helpers used by the figure
+// benchmarks and the agbench tool.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"anongossip/internal/aodv"
+	"anongossip/internal/flood"
+	"anongossip/internal/geom"
+	"anongossip/internal/gossip"
+	"anongossip/internal/mac"
+	"anongossip/internal/maodv"
+	"anongossip/internal/mobility"
+	"anongossip/internal/node"
+	"anongossip/internal/odmrp"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+	"anongossip/internal/stats"
+	"anongossip/internal/trace"
+)
+
+// Protocol selects the multicast stack under test.
+type Protocol int
+
+// Protocols under test.
+const (
+	// ProtocolMAODV is the bare multicast routing protocol (the paper's
+	// "Maodv" curves).
+	ProtocolMAODV Protocol = iota + 1
+	// ProtocolGossip is MAODV plus Anonymous Gossip (the paper's
+	// "Gossip" curves).
+	ProtocolGossip
+	// ProtocolFlood is the plain-flooding baseline from related work
+	// [13], used in ablations.
+	ProtocolFlood
+	// ProtocolODMRP is the bare mesh-based multicast protocol (paper
+	// reference [10]).
+	ProtocolODMRP
+	// ProtocolODMRPGossip is ODMRP plus Anonymous Gossip — the paper's
+	// §5.5/§7 future-work claim that AG generalises beyond MAODV.
+	ProtocolODMRPGossip
+)
+
+// String names the protocol as the paper's figures do.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolMAODV:
+		return "Maodv"
+	case ProtocolGossip:
+		return "Gossip"
+	case ProtocolFlood:
+		return "Flood"
+	case ProtocolODMRP:
+		return "Odmrp"
+	case ProtocolODMRPGossip:
+		return "Odmrp+AG"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Group is the single multicast group used by all experiments.
+const Group pkt.GroupID = 0xE0000001
+
+// Config describes one simulation run.
+type Config struct {
+	Protocol Protocol
+
+	// Area is the terrain (200 m × 200 m in the paper).
+	Area geom.Rect
+	// Nodes is the total node count (40 unless swept).
+	Nodes int
+	// MemberFraction of nodes join the group (1/3 in the paper).
+	MemberFraction float64
+	// TxRange is the radio transmission range in metres.
+	TxRange float64
+	// MinSpeed/MaxSpeed bound random-waypoint speeds (m/s).
+	MinSpeed, MaxSpeed float64
+	// MaxPause bounds the waypoint rest period (80 s in the paper).
+	MaxPause time.Duration
+
+	// Duration is the simulated time (600 s in the paper).
+	Duration time.Duration
+	// DataStart/DataEnd bound the CBR transmission window (120/560 s).
+	DataStart, DataEnd time.Duration
+	// DataInterval is the CBR period (200 ms).
+	DataInterval time.Duration
+	// NumSources is the number of sending members (1 in the paper; AG
+	// tracks sequence numbers per origin, so more are supported as an
+	// extension). Each source sends a full CBR stream, phase-shifted.
+	NumSources int
+
+	// JoinWindow spreads member joins over the warm-up.
+	JoinWindow time.Duration
+
+	// Seed drives all randomness in the run.
+	Seed int64
+
+	// TraceCapacity, when positive, records the last N packet events
+	// network-wide into Result.Trace.
+	TraceCapacity int
+	// TraceKinds restricts tracing to the listed packet kinds (empty =
+	// all kinds).
+	TraceKinds []pkt.Kind
+
+	// Per-layer parameter blocks.
+	MAC    mac.Config
+	AODV   aodv.Config
+	MAODV  maodv.Config
+	Flood  flood.Config
+	ODMRP  odmrp.Config
+	Gossip gossip.Config
+}
+
+// DefaultConfig returns the paper's baseline configuration (§5.1): 40
+// nodes, 75 m range, max speed 0.2 m/s, MAODV+AG.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:       ProtocolGossip,
+		Area:           geom.Rect{W: 200, H: 200},
+		Nodes:          40,
+		MemberFraction: 1.0 / 3.0,
+		TxRange:        75,
+		MinSpeed:       0,
+		MaxSpeed:       0.2,
+		MaxPause:       80 * time.Second,
+		Duration:       600 * time.Second,
+		DataStart:      120 * time.Second,
+		DataEnd:        560 * time.Second,
+		DataInterval:   200 * time.Millisecond,
+		NumSources:     1,
+		JoinWindow:     10 * time.Second,
+		Seed:           1,
+		MAC:            mac.DefaultConfig(),
+		AODV:           aodv.DefaultConfig(),
+		MAODV:          maodv.DefaultConfig(),
+		Flood:          flood.DefaultConfig(),
+		ODMRP:          odmrp.DefaultConfig(),
+		Gossip:         gossip.DefaultConfig(),
+	}
+}
+
+// ExpectedPackets returns the number of packets each source generates
+// (2201 under the paper's parameters).
+func (c Config) ExpectedPackets() int {
+	if c.DataEnd < c.DataStart || c.DataInterval <= 0 {
+		return 0
+	}
+	return int((c.DataEnd-c.DataStart)/c.DataInterval) + 1
+}
+
+// sources returns the effective source count.
+func (c Config) sources() int {
+	if c.NumSources <= 0 {
+		return 1
+	}
+	return c.NumSources
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Protocol < ProtocolMAODV || c.Protocol > ProtocolODMRPGossip:
+		return fmt.Errorf("scenario: unknown protocol %d", c.Protocol)
+	case c.Nodes < 2:
+		return fmt.Errorf("scenario: need at least 2 nodes, have %d", c.Nodes)
+	case c.MemberFraction <= 0 || c.MemberFraction > 1:
+		return fmt.Errorf("scenario: member fraction %v out of (0,1]", c.MemberFraction)
+	case c.TxRange <= 0:
+		return fmt.Errorf("scenario: non-positive transmission range %v", c.TxRange)
+	case c.Area.W <= 0 || c.Area.H <= 0:
+		return fmt.Errorf("scenario: degenerate area %+v", c.Area)
+	case c.Duration <= 0:
+		return fmt.Errorf("scenario: non-positive duration %v", c.Duration)
+	case c.DataEnd > c.Duration:
+		return fmt.Errorf("scenario: data window ends at %v after the run ends at %v", c.DataEnd, c.Duration)
+	}
+	return nil
+}
+
+// MemberResult reports one non-source member's outcome.
+type MemberResult struct {
+	Node pkt.NodeID
+	// Received counts unique data packets obtained (tree + gossip).
+	Received int
+	// Recovered counts packets obtained through gossip replies.
+	Recovered int
+	// ReplyNew/ReplyDup are the goodput numerator components (§5.5).
+	ReplyNew, ReplyDup uint64
+	// Goodput is the per-member goodput percentage.
+	Goodput float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Protocol Protocol
+	Seed     int64
+	// Sent is the number of data packets the source generated.
+	Sent int
+	// Source is the sending member (excluded from Members).
+	Source pkt.NodeID
+	// Members holds the per-receiver outcomes.
+	Members []MemberResult
+
+	// Received summarises Members[i].Received (the paper's data points
+	// and error bars).
+	Received stats.Summary
+
+	// TreeLatencyMean and RecoveredLatencyMean average the send-to-
+	// delivery delay of packets arriving over the multicast tree and
+	// through gossip replies respectively (an extension metric; the
+	// paper reports delivery counts only).
+	TreeLatencyMean      time.Duration
+	RecoveredLatencyMean time.Duration
+
+	// ControlBytes / PayloadBytes split network-layer transmit volume.
+	ControlBytes, PayloadBytes uint64
+	// MACCollisions counts corrupted receptions medium-wide.
+	MACCollisions uint64
+	// Events is the number of simulation events executed.
+	Events uint64
+	// MeanDegree is the average neighbour count at the end of the run.
+	MeanDegree float64
+	// Trace holds the packet trace when Config.TraceCapacity > 0.
+	Trace *trace.Ring
+}
+
+// DeliveryRatio is mean received over packets sent, in [0, 1].
+func (r *Result) DeliveryRatio() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return r.Received.Mean / float64(r.Sent)
+}
+
+// MeanGoodput averages member goodput (only meaningful for
+// ProtocolGossip).
+func (r *Result) MeanGoodput() float64 {
+	if len(r.Members) == 0 {
+		return 100
+	}
+	var sum float64
+	for _, m := range r.Members {
+		sum += m.Goodput
+	}
+	return sum / float64(len(r.Members))
+}
+
+// Run executes one simulation and collects its results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.sched.Run(cfg.Duration)
+	return w.collect(), nil
+}
+
+// world is one assembled simulation.
+type world struct {
+	cfg    Config
+	sched  *sim.Scheduler
+	medium *radio.Medium
+
+	stacks  []*node.Stack
+	unis    []*aodv.Router
+	mroutes []*maodv.Router
+	floods  []*flood.Router
+	odmrps  []*odmrp.Router
+	engines []*gossip.Engine
+
+	memberIdx []int // node indices that are members; the first sources() are senders
+	isSource  map[int]bool
+	sent      int
+	sentAt    map[pkt.SeqKey]sim.Time
+	tracer    *trace.Ring
+
+	treeLatSum, recLatSum     time.Duration
+	treeLatCount, recLatCount uint64
+}
+
+// treeAdapter exposes a maodv.Router through the gossip.Tree interface.
+type treeAdapter struct{ r *maodv.Router }
+
+func (t treeAdapter) NextHops(g pkt.GroupID) []gossip.NextHop {
+	hops := t.r.TreeNextHops(g)
+	out := make([]gossip.NextHop, len(hops))
+	for i, h := range hops {
+		out[i] = gossip.NextHop{ID: h.ID, Nearest: h.Nearest}
+	}
+	return out
+}
+
+func (t treeAdapter) IsMember(g pkt.GroupID) bool { return t.r.IsMember(g) }
+
+func build(cfg Config) (*world, error) {
+	w := &world{cfg: cfg, sched: sim.NewScheduler()}
+	w.medium = radio.NewMedium(w.sched, radio.Params{Range: cfg.TxRange})
+	root := sim.NewRNG(cfg.Seed)
+
+	mobCfg := mobility.WaypointConfig{
+		Area:     cfg.Area,
+		MinSpeed: cfg.MinSpeed,
+		MaxSpeed: cfg.MaxSpeed,
+		MaxPause: cfg.MaxPause,
+	}
+
+	if cfg.TraceCapacity > 0 {
+		w.tracer = trace.NewRing(cfg.TraceCapacity)
+		if len(cfg.TraceKinds) > 0 {
+			w.tracer.SetFilter(trace.KindFilter(cfg.TraceKinds...))
+		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := pkt.NodeID(i + 1)
+		mob := mobility.NewWaypoint(mobCfg, root.Derive(fmt.Sprintf("mob/%d", i)))
+		st := node.New(w.sched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
+		if w.tracer != nil {
+			st.SetTracer(w.tracer.Record)
+		}
+		w.stacks = append(w.stacks, st)
+
+		switch cfg.Protocol {
+		case ProtocolFlood:
+			fr := flood.New(st, root.Derive(fmt.Sprintf("flood/%d", i)), cfg.Flood)
+			st.SetRouter(nullRouter{})
+			fr.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+				w.noteLatency(d.Key(), false)
+			})
+			w.floods = append(w.floods, fr)
+		case ProtocolODMRP, ProtocolODMRPGossip:
+			or := odmrp.New(st, root.Derive(fmt.Sprintf("odmrp/%d", i)), cfg.ODMRP)
+			if cfg.Protocol == ProtocolODMRPGossip {
+				// Gossip replies are unicast: AODV supplies routes.
+				uni := aodv.New(st, root.Derive(fmt.Sprintf("aodv/%d", i)), cfg.AODV)
+				eng := gossip.New(st, or, root.Derive(fmt.Sprintf("gossip/%d", i)), cfg.Gossip)
+				eng.SetHopEstimator(uni.RouteHops)
+				or.OnDeliver(eng.OnTreeData)
+				eng.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, recovered bool) {
+					w.noteLatency(d.Key(), recovered)
+				})
+				w.unis = append(w.unis, uni)
+				w.engines = append(w.engines, eng)
+				uni.Start()
+			} else {
+				st.SetRouter(nullRouter{})
+				or.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+					w.noteLatency(d.Key(), false)
+				})
+			}
+			w.odmrps = append(w.odmrps, or)
+		default:
+			uni := aodv.New(st, root.Derive(fmt.Sprintf("aodv/%d", i)), cfg.AODV)
+			mr := maodv.New(st, uni, root.Derive(fmt.Sprintf("maodv/%d", i)), cfg.MAODV)
+			w.unis = append(w.unis, uni)
+			w.mroutes = append(w.mroutes, mr)
+			if cfg.Protocol == ProtocolGossip {
+				eng := gossip.New(st, treeAdapter{mr}, root.Derive(fmt.Sprintf("gossip/%d", i)), cfg.Gossip)
+				eng.SetHopEstimator(uni.RouteHops)
+				mr.OnDeliver(eng.OnTreeData)
+				mr.OnMemberEvidence(eng.OnMemberEvidence)
+				eng.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, recovered bool) {
+					w.noteLatency(d.Key(), recovered)
+				})
+				w.engines = append(w.engines, eng)
+			} else {
+				mr.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+					w.noteLatency(d.Key(), false)
+				})
+			}
+			uni.Start()
+		}
+	}
+
+	// Membership: a random third of the nodes; the first drawn members
+	// are the CBR sources.
+	nMembers := int(float64(cfg.Nodes)*cfg.MemberFraction + 0.5)
+	if nMembers < 2 {
+		nMembers = 2
+	}
+	if cfg.sources() >= nMembers {
+		return nil, fmt.Errorf("scenario: %d sources need more than %d members", cfg.sources(), nMembers)
+	}
+	perm := root.Derive("membership").Perm(cfg.Nodes)
+	w.memberIdx = perm[:nMembers]
+	w.isSource = make(map[int]bool, cfg.sources())
+	for _, idx := range w.memberIdx[:cfg.sources()] {
+		w.isSource[idx] = true
+	}
+	w.sentAt = make(map[pkt.SeqKey]sim.Time, cfg.sources()*cfg.ExpectedPackets())
+
+	// The first source joins first and, finding no tree, becomes the
+	// group leader (its join retries take ~6 s to conclude). Other
+	// members join after that window so their floods find a tree to
+	// answer them instead of racing into simultaneous leader elections.
+	// The paper's 120 s warm-up comfortably covers this.
+	joinRNG := root.Derive("joins")
+	const leaderBootstrap = 8 * time.Second
+	for k, idx := range w.memberIdx {
+		idx := idx
+		var at sim.Time
+		if k == 0 {
+			at = 50 * time.Millisecond
+		} else {
+			at = leaderBootstrap + joinRNG.Duration(cfg.JoinWindow)
+		}
+		w.sched.At(at, func() { w.join(idx) })
+	}
+
+	// CBR workload: each source sends exactly ExpectedPackets packets,
+	// phase-shifted to avoid synchronised transmissions.
+	nSrc := cfg.sources()
+	for s := 0; s < nSrc; s++ {
+		src := w.memberIdx[s]
+		offset := time.Duration(s) * cfg.DataInterval / time.Duration(nSrc)
+		for k := 0; k < cfg.ExpectedPackets(); k++ {
+			at := cfg.DataStart + offset + time.Duration(k)*cfg.DataInterval
+			w.sched.At(at, func() { w.sendData(src) })
+		}
+	}
+	return w, nil
+}
+
+// noteLatency accumulates send-to-delivery delay for one delivered
+// packet.
+func (w *world) noteLatency(key pkt.SeqKey, recovered bool) {
+	t0, ok := w.sentAt[key]
+	if !ok {
+		return
+	}
+	lat := w.sched.Now() - t0
+	if recovered {
+		w.recLatSum += lat
+		w.recLatCount++
+	} else {
+		w.treeLatSum += lat
+		w.treeLatCount++
+	}
+}
+
+// nullRouter satisfies node.UnicastRouter for the flooding stack, which
+// needs no unicast routing.
+type nullRouter struct{}
+
+func (nullRouter) NextHop(pkt.NodeID) (pkt.NodeID, bool) { return 0, false }
+func (nullRouter) QueueForRoute(*pkt.Packet)             {}
+
+func (w *world) join(idx int) {
+	switch w.cfg.Protocol {
+	case ProtocolFlood:
+		w.floods[idx].Join(Group)
+	case ProtocolODMRP, ProtocolODMRPGossip:
+		w.odmrps[idx].Join(Group)
+		if w.cfg.Protocol == ProtocolODMRPGossip {
+			w.engines[idx].Attach(Group)
+		}
+	default:
+		w.mroutes[idx].Join(Group)
+		if w.cfg.Protocol == ProtocolGossip {
+			w.engines[idx].Attach(Group)
+		}
+	}
+}
+
+func (w *world) sendData(idx int) {
+	switch w.cfg.Protocol {
+	case ProtocolFlood:
+		if key, err := w.floods[idx].SendData(Group); err == nil {
+			w.sent++
+			w.sentAt[key] = w.sched.Now()
+		}
+	case ProtocolODMRP, ProtocolODMRPGossip:
+		key, err := w.odmrps[idx].SendData(Group)
+		if err != nil {
+			return
+		}
+		w.sent++
+		w.sentAt[key] = w.sched.Now()
+		if w.cfg.Protocol == ProtocolODMRPGossip {
+			w.engines[idx].OnLocalData(Group, pkt.Data{
+				Group: Group, Origin: key.Origin, Seq: key.Seq,
+				PayloadLen: w.cfg.ODMRP.PayloadLen,
+			})
+		}
+	default:
+		key, err := w.mroutes[idx].SendData(Group)
+		if err != nil {
+			return
+		}
+		w.sent++
+		w.sentAt[key] = w.sched.Now()
+		if w.cfg.Protocol == ProtocolGossip {
+			w.engines[idx].OnLocalData(Group, pkt.Data{
+				Group: Group, Origin: key.Origin, Seq: key.Seq,
+				PayloadLen: w.cfg.MAODV.PayloadLen,
+			})
+		}
+	}
+}
+
+func (w *world) collect() *Result {
+	res := &Result{
+		Protocol:   w.cfg.Protocol,
+		Seed:       w.cfg.Seed,
+		Sent:       w.sent,
+		Source:     pkt.NodeID(w.memberIdx[0] + 1),
+		Events:     w.sched.Processed(),
+		MeanDegree: w.medium.MeanDegree(),
+		Trace:      w.tracer,
+	}
+	res.MACCollisions = w.medium.Stats().Collisions
+
+	if w.treeLatCount > 0 {
+		res.TreeLatencyMean = w.treeLatSum / time.Duration(w.treeLatCount)
+	}
+	if w.recLatCount > 0 {
+		res.RecoveredLatencyMean = w.recLatSum / time.Duration(w.recLatCount)
+	}
+
+	received := make([]int, 0, len(w.memberIdx)-1)
+	for _, idx := range w.memberIdx {
+		if w.isSource[idx] {
+			continue // sources trivially have their own packets
+		}
+		mr := MemberResult{Node: pkt.NodeID(idx + 1)}
+		switch w.cfg.Protocol {
+		case ProtocolFlood:
+			mr.Received = int(w.floods[idx].Stats().DataDelivered)
+			mr.Goodput = 100
+		case ProtocolMAODV:
+			mr.Received = int(w.mroutes[idx].Stats().DataDelivered)
+			mr.Goodput = 100
+		case ProtocolODMRP:
+			mr.Received = int(w.odmrps[idx].Stats().DataDelivered)
+			mr.Goodput = 100
+		case ProtocolGossip, ProtocolODMRPGossip:
+			gs := w.engines[idx].Stats()
+			mr.Received = int(gs.Delivered)
+			mr.Recovered = int(gs.ReplyMsgsNew)
+			mr.ReplyNew = gs.ReplyMsgsNew
+			mr.ReplyDup = gs.ReplyMsgsDup
+			mr.Goodput = gs.Goodput()
+		}
+		res.Members = append(res.Members, mr)
+		received = append(received, mr.Received)
+	}
+	res.Received = stats.SummarizeInts(received)
+
+	for _, st := range w.stacks {
+		s := st.Stats()
+		res.ControlBytes += s.ControlBytes
+		res.PayloadBytes += s.PayloadBytes
+	}
+	return res
+}

@@ -1,0 +1,180 @@
+// Package sim provides the discrete-event simulation kernel that every other
+// layer of the reproduction runs on. It replaces GloMoSim/PARSEC, the
+// simulator used in the paper's evaluation.
+//
+// The kernel is deliberately single-threaded and deterministic: events are
+// totally ordered by (time, insertion sequence), and all randomness flows
+// from a single seed through named sub-streams (see RNG). Two runs with the
+// same configuration and seed produce bit-identical schedules, which makes
+// every experiment in EXPERIMENTS.md replayable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulation timestamp, expressed as the duration elapsed since
+// the start of the run. Using time.Duration keeps arithmetic, parsing and
+// formatting idiomatic while staying on an int64 nanosecond base.
+type Time = time.Duration
+
+// Timer is a handle for a scheduled event. It can be cancelled before it
+// fires; cancellation after firing is a no-op.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// At reports the simulation time the timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Cancel prevents the timer from firing. It is safe to call more than once
+// and safe to call after the timer has fired.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Fired reports whether the timer's callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+// eventHeap orders timers by (at, seq); seq breaks ties so that events
+// scheduled for the same instant fire in insertion order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	t, ok := x.(*Timer)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventHeap.Push got %T, want *Timer", x))
+	}
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Scheduler is the event loop. The zero value is not usable; construct with
+// NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// processed counts events executed so far (cancelled events excluded).
+	processed uint64
+}
+
+// NewScheduler returns a scheduler positioned at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently scheduled, including
+// cancelled events that have not yet been discarded.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// After schedules fn to run d after the current time and returns a handle
+// that can cancel it. A negative d is treated as zero: the event fires at
+// the current time, after already-queued events for that instant.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn to run at absolute simulation time t. Times in the past
+// are clamped to the present.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	timer := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, timer)
+	return timer
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event
+// is strictly after `until`. On return the clock is at the time of the last
+// executed event, or at `until` if the queue drained earlier events only.
+// It reports the number of events executed by this call.
+func (s *Scheduler) Run(until Time) uint64 {
+	var n uint64
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fired = true
+		next.fn()
+		s.processed++
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll executes events until the queue is empty or maxEvents have run.
+// It reports the number executed and whether the queue drained completely.
+// It is intended for tests; simulations should use Run with a horizon.
+func (s *Scheduler) RunAll(maxEvents uint64) (uint64, bool) {
+	var n uint64
+	s.stopped = false
+	for len(s.events) > 0 && n < maxEvents && !s.stopped {
+		next := s.events[0]
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fired = true
+		next.fn()
+		s.processed++
+		n++
+	}
+	return n, len(s.events) == 0
+}

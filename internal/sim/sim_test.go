@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, d := range []Time{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second} {
+		d := d
+		s.After(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run(10 * time.Second)
+	want := []Time{time.Second, 2 * time.Second, 3 * time.Second, 5 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerRunHorizon(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.After(time.Second, func() { fired++ })
+	s.After(3*time.Second, func() { fired++ })
+
+	n := s.Run(2 * time.Second)
+	if n != 1 || fired != 1 {
+		t.Fatalf("Run(2s) executed %d events (fired=%d), want 1", n, fired)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("clock at %v after Run(2s), want 2s", s.Now())
+	}
+	n = s.Run(5 * time.Second)
+	if n != 1 || fired != 2 {
+		t.Fatalf("second Run executed %d events (fired=%d), want 1", n, fired)
+	}
+}
+
+func TestSchedulerClockAdvancesToHorizonWhenIdle(t *testing.T) {
+	s := NewScheduler()
+	s.Run(7 * time.Second)
+	if s.Now() != 7*time.Second {
+		t.Fatalf("idle Run left clock at %v, want 7s", s.Now())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	tm.Cancel()
+	s.Run(2 * time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Cancelled() || tm.Fired() {
+		t.Fatalf("timer state Cancelled=%v Fired=%v, want true,false", tm.Cancelled(), tm.Fired())
+	}
+}
+
+func TestTimerCancelAfterFireIsNoop(t *testing.T) {
+	s := NewScheduler()
+	tm := s.After(time.Second, func() {})
+	s.Run(2 * time.Second)
+	if !tm.Fired() {
+		t.Fatal("timer did not fire")
+	}
+	tm.Cancel() // must not panic or corrupt state
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := NewScheduler()
+	var at []Time
+	s.After(time.Second, func() {
+		s.After(time.Second, func() { at = append(at, s.Now()) })
+		s.After(0, func() { at = append(at, s.Now()) })
+	})
+	s.Run(5 * time.Second)
+	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
+		t.Fatalf("nested scheduling fired at %v, want [1s 2s]", at)
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	var fired Time = -1
+	s.After(2*time.Second, func() {
+		s.At(time.Second, func() { fired = s.Now() }) // in the past
+	})
+	s.Run(10 * time.Second)
+	if fired != 2*time.Second {
+		t.Fatalf("past-scheduled event fired at %v, want clamped to 2s", fired)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire at t=0")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.After(Time(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("Stop did not halt Run: %d events executed, want 2", count)
+	}
+	// A subsequent Run resumes.
+	s.Run(10 * time.Second)
+	if count != 5 {
+		t.Fatalf("resumed Run executed %d total, want 5", count)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 4; i++ {
+		s.After(Time(i)*time.Second, func() { count++ })
+	}
+	n, drained := s.RunAll(2)
+	if n != 2 || drained {
+		t.Fatalf("RunAll(2) = (%d, %v), want (2, false)", n, drained)
+	}
+	n, drained = s.RunAll(100)
+	if n != 2 || !drained {
+		t.Fatalf("second RunAll = (%d, %v), want (2, true)", n, drained)
+	}
+}
+
+func TestAtNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewScheduler().At(0, nil)
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and the clock never goes backwards.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		s := NewScheduler()
+		var times []Time
+		for _, d := range delaysMS {
+			s.After(Time(d)*time.Millisecond, func() { times = append(times, s.Now()) })
+		}
+		s.Run(1000 * time.Second)
+		if len(times) != len(delaysMS) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Processed equals the number of scheduled, non-cancelled events
+// after a full drain, regardless of which subset was cancelled.
+func TestSchedulerCancelAccountingProperty(t *testing.T) {
+	f := func(delaysMS []uint16, cancelMask []bool) bool {
+		s := NewScheduler()
+		timers := make([]*Timer, 0, len(delaysMS))
+		for _, d := range delaysMS {
+			timers = append(timers, s.After(Time(d)*time.Millisecond, func() {}))
+		}
+		want := uint64(0)
+		for i, tm := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				tm.Cancel()
+			} else {
+				want++
+			}
+		}
+		s.Run(1000 * time.Second)
+		return s.Processed() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Derive("mobility")
+	b := root.Derive("mac")
+	c := root.Derive("mobility")
+	if a.Seed() == b.Seed() {
+		t.Fatal("different stream names produced the same seed")
+	}
+	if a.Seed() != c.Seed() {
+		t.Fatal("same stream name produced different seeds")
+	}
+	// Derived streams replay identically.
+	for i := 0; i < 50; i++ {
+		if a.Float64() != c.Float64() {
+			t.Fatal("derived streams with same name diverged")
+		}
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+	if got := g.Uniform(5, 5); got != 5 {
+		t.Fatalf("Uniform(5,5) = %v, want 5", got)
+	}
+	if got := g.Uniform(5, 2); got != 5 {
+		t.Fatalf("Uniform(5,2) = %v, want lo", got)
+	}
+}
+
+func TestRNGDurationBounds(t *testing.T) {
+	g := NewRNG(2)
+	if got := g.Duration(0); got != 0 {
+		t.Fatalf("Duration(0) = %v, want 0", got)
+	}
+	if got := g.Duration(-time.Second); got != 0 {
+		t.Fatalf("Duration(<0) = %v, want 0", got)
+	}
+	for i := 0; i < 1000; i++ {
+		v := g.Duration(80 * time.Second)
+		if v < 0 || v >= 80*time.Second {
+			t.Fatalf("Duration(80s) = %v out of range", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := g.DurationRange(time.Second, 2*time.Second)
+		if v < time.Second || v >= 2*time.Second {
+			t.Fatalf("DurationRange = %v out of range", v)
+		}
+	}
+	if got := g.DurationRange(2*time.Second, time.Second); got != 2*time.Second {
+		t.Fatalf("DurationRange(hi<lo) = %v, want lo", got)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	trues := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			trues++
+		}
+	}
+	frac := float64(trues) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", frac)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	g := NewRNG(4)
+	if got := g.WeightedIndex(nil); got != -1 {
+		t.Fatalf("WeightedIndex(nil) = %d, want -1", got)
+	}
+	if got := g.WeightedIndex([]float64{0, 0}); got != -1 {
+		t.Fatalf("WeightedIndex(zeros) = %d, want -1", got)
+	}
+	if got := g.WeightedIndex([]float64{0, 3, 0}); got != 1 {
+		t.Fatalf("WeightedIndex single positive = %d, want 1", got)
+	}
+
+	// Frequencies should be roughly proportional to weights.
+	counts := [3]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[g.WeightedIndex([]float64{1, 2, 1})]++
+	}
+	if f := float64(counts[1]) / n; f < 0.46 || f > 0.54 {
+		t.Fatalf("weight-2 index frequency = %v, want ~0.5", f)
+	}
+	// Negative weights are ignored entirely.
+	for i := 0; i < 1000; i++ {
+		if got := g.WeightedIndex([]float64{-5, 1}); got != 1 {
+			t.Fatalf("WeightedIndex with negative weight = %d, want 1", got)
+		}
+	}
+}
+
+// Property: WeightedIndex always returns an index with positive weight, for
+// any weight vector containing at least one positive entry.
+func TestWeightedIndexProperty(t *testing.T) {
+	g := NewRNG(5)
+	f := func(raw []float64) bool {
+		anyPositive := false
+		for _, w := range raw {
+			if w > 0 {
+				anyPositive = true
+				break
+			}
+		}
+		idx := g.WeightedIndex(raw)
+		if !anyPositive {
+			return idx == -1
+		}
+		return idx >= 0 && idx < len(raw) && raw[idx] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

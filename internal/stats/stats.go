@@ -1,0 +1,75 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: per-member delivery distributions (mean with min/max "error
+// bars", as the paper plots) and their aggregation across seeds.
+package stats
+
+import "math"
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	// Std is the population standard deviation.
+	Std float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// SummarizeInts converts and summarises integer observations.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Merge combines two samples' summaries into the summary of their union.
+// Standard deviations combine via the parallel-axis theorem.
+func Merge(a, b Summary) Summary {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	n := a.N + b.N
+	mean := (a.Mean*float64(a.N) + b.Mean*float64(b.N)) / float64(n)
+	da := a.Mean - mean
+	db := b.Mean - mean
+	variance := (float64(a.N)*(a.Std*a.Std+da*da) + float64(b.N)*(b.Std*b.Std+db*db)) / float64(n)
+	return Summary{
+		N:    n,
+		Mean: mean,
+		Min:  math.Min(a.Min, b.Min),
+		Max:  math.Max(a.Max, b.Max),
+		Std:  math.Sqrt(variance),
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !close(s.Mean, 5) || !close(s.Min, 2) || !close(s.Max, 9) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !close(s.Std, 2) {
+		t.Fatalf("Std = %v, want 2", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.N != 1 || !close(s.Mean, 3) || !close(s.Min, 3) || !close(s.Max, 3) || !close(s.Std, 0) {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{1, 2, 3})
+	if s.N != 3 || !close(s.Mean, 2) {
+		t.Fatalf("int summary = %+v", s)
+	}
+}
+
+func TestMergeMatchesDirect(t *testing.T) {
+	a := []float64{1, 5, 3, 8}
+	b := []float64{2, 2, 9}
+	merged := Merge(Summarize(a), Summarize(b))
+	direct := Summarize(append(append([]float64{}, a...), b...))
+	if merged.N != direct.N || !close(merged.Mean, direct.Mean) ||
+		!close(merged.Min, direct.Min) || !close(merged.Max, direct.Max) ||
+		!close(merged.Std, direct.Std) {
+		t.Fatalf("merged %+v != direct %+v", merged, direct)
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	if got := Merge(s, Summary{}); got != s {
+		t.Fatalf("Merge(s, empty) = %+v", got)
+	}
+	if got := Merge(Summary{}, s); got != s {
+		t.Fatalf("Merge(empty, s) = %+v", got)
+	}
+}
+
+// Property: Merge is equivalent to summarising the concatenation, for any
+// two samples.
+func TestMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		for _, x := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		merged := Merge(Summarize(a), Summarize(b))
+		direct := Summarize(append(append([]float64{}, a...), b...))
+		if merged.N != direct.N {
+			return false
+		}
+		if merged.N == 0 {
+			return true
+		}
+		tol := 1e-6 * math.Max(1, math.Abs(direct.Mean))
+		return math.Abs(merged.Mean-direct.Mean) < tol &&
+			merged.Min == direct.Min && merged.Max == direct.Max &&
+			math.Abs(merged.Std-direct.Std) < 1e-6*math.Max(1, direct.Std)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
