@@ -31,7 +31,9 @@ package anongossip
 
 import (
 	"io"
+	"time"
 
+	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 )
 
@@ -103,3 +105,39 @@ func RunComparison(base Config, xs []float64, apply func(Config, float64) Config
 
 // Seeds returns the canonical seed list {1..n}.
 func Seeds(n int) []int64 { return scenario.Seeds(n) }
+
+// IndexKind selects the radio's neighbour lookup strategy (see
+// Config.RadioIndex). The grid keeps radio events O(local degree); the
+// brute-force scan is the O(N) reference. Both produce bit-identical
+// results for the same seed.
+type IndexKind = radio.IndexKind
+
+// Neighbour index strategies.
+const (
+	// IndexGrid (the default) backs the medium with a spatial hash.
+	IndexGrid = radio.IndexGrid
+	// IndexBrute scans every transceiver, kept for differential testing.
+	IndexBrute = radio.IndexBrute
+)
+
+// LargeScaleXs returns the node counts of the large-scale experiment
+// family (100..1000 nodes at constant density; see EXPERIMENTS.md §L).
+func LargeScaleXs() []float64 { return scenario.LargeScaleXs() }
+
+// ApplyLargeScale reshapes a config to one large-scale sweep point:
+// the terrain grows with the node count so density — and hence mean
+// degree — stays at the paper's 40-node baseline at a fixed 75 m range.
+func ApplyLargeScale(c Config, nodes float64) Config {
+	return scenario.ApplyLargeScale(c, nodes)
+}
+
+// LargeScaleConfig returns the ready-to-run large-scale configuration
+// at one node count.
+func LargeScaleConfig(nodes int) Config { return scenario.LargeScaleConfig(nodes) }
+
+// ShortenedData rescales a run to a shorter duration while keeping the
+// paper's warm-up and cool-down proportions; benchmarks and CI use it
+// to keep large-scale runs affordable.
+func ShortenedData(c Config, duration time.Duration) Config {
+	return scenario.ShortenedData(c, duration)
+}

@@ -18,6 +18,7 @@ import (
 
 	"anongossip"
 	"anongossip/internal/gossip"
+	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 )
 
@@ -248,5 +249,84 @@ func BenchmarkSingleRun(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Events), "events")
+	}
+}
+
+// --- large-scale family (beyond the paper; see EXPERIMENTS.md §L) ---
+
+// benchLargeScale runs one large-scale simulation per iteration with the
+// chosen neighbour index. The grid/brute pairs at the same node count
+// execute bit-identical event schedules (asserted by the scenario
+// tests), so their ns/op difference isolates the index's cost: simulator
+// performance, not a protocol result.
+func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, duration time.Duration) {
+	b.Helper()
+	cfg := scenario.ShortenedData(scenario.LargeScaleConfig(nodes), duration)
+	cfg.RadioIndex = kind
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(100*res.DeliveryRatio(), "delivery_%")
+		b.ReportMetric(res.MeanDegree, "degree")
+	}
+}
+
+// BenchmarkLargeScale250Grid vs BenchmarkLargeScale250Brute is the
+// headline speedup comparison at the refactor's acceptance point
+// (≥250 nodes); the 500- and 1000-node pairs show the gap widening as
+// the brute-force O(N) scans fall further behind the grid's O(degree)
+// queries.
+func BenchmarkLargeScale250Grid(b *testing.B) {
+	benchLargeScale(b, 250, radio.IndexGrid, 60*time.Second)
+}
+func BenchmarkLargeScale250Brute(b *testing.B) {
+	benchLargeScale(b, 250, radio.IndexBrute, 60*time.Second)
+}
+func BenchmarkLargeScale500Grid(b *testing.B) {
+	benchLargeScale(b, 500, radio.IndexGrid, 45*time.Second)
+}
+func BenchmarkLargeScale500Brute(b *testing.B) {
+	benchLargeScale(b, 500, radio.IndexBrute, 45*time.Second)
+}
+func BenchmarkLargeScale1000Grid(b *testing.B) {
+	benchLargeScale(b, 1000, radio.IndexGrid, 30*time.Second)
+}
+func BenchmarkLargeScale1000Brute(b *testing.B) {
+	benchLargeScale(b, 1000, radio.IndexBrute, 30*time.Second)
+}
+
+// BenchmarkLargeScaleDelivery prints the delivery table for the family
+// (Gossip vs MAODV), the scale analogue of the paper's Fig. 6. The
+// default covers 100 and 250 nodes at a shortened duration;
+// AG_BENCH_FULL=1 extends to 500 and 1000.
+func BenchmarkLargeScaleDelivery(b *testing.B) {
+	xs := []float64{100, 250}
+	duration := 120 * time.Second
+	if os.Getenv("AG_BENCH_FULL") != "" {
+		xs = scenario.LargeScaleXs()
+		duration = 300 * time.Second
+	}
+	base := scenario.ShortenedData(scenario.DefaultConfig(), duration)
+	seeds := scenario.Seeds(1)
+	for i := 0; i < b.N; i++ {
+		rows, err := scenario.RunComparison(base, xs, scenario.ApplyLargeScale, seeds, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n--- Large scale: delivery vs nodes, constant density (%v per run) ---\n", duration)
+		fmt.Printf("%-10s | %26s | %26s\n", "nodes", "Gossip mean [min,max]", "Maodv mean [min,max]")
+		for _, r := range rows {
+			fmt.Printf("%-10.0f | %8.1f [%6.0f,%6.0f] | %8.1f [%6.0f,%6.0f]\n",
+				r.X,
+				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max,
+				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Gossip.Received.Mean, "gossip_pkts")
+		b.ReportMetric(last.Maodv.Received.Mean, "maodv_pkts")
 	}
 }

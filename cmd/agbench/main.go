@@ -5,6 +5,7 @@
 //	agbench -fig 2          # one figure
 //	agbench -fig all        # everything
 //	agbench -fig 4 -seeds 10 -parallel 4
+//	agbench -fig large -duration 120s -large-max 500
 //
 // Each table prints one row per x-axis point with the Gossip and MAODV
 // mean delivery and [min, max] error bars across all members and seeds,
@@ -12,6 +13,14 @@
 // With the paper's full 10-seed sweeps (-seeds 10) a figure takes a few
 // minutes; the default 3 seeds preserve the shapes at a third of the
 // cost.
+//
+// Beyond the paper, -fig large sweeps the large-scale family (100 to
+// 1000 nodes at constant density; see EXPERIMENTS.md §L). At full
+// duration the 1000-node points take tens of minutes — shrink with
+// -duration and cap the sweep with -large-max for previews. The -index
+// flag switches the radio's neighbour index between the spatial grid
+// and the brute-force scan; results are bit-identical, only wall time
+// changes.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"strconv"
 	"time"
 
+	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 )
 
@@ -53,38 +63,53 @@ func figures() []figure {
 func run(args []string) error {
 	fs := flag.NewFlagSet("agbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 2..8 or all")
+		fig      = fs.String("fig", "all", "figure to regenerate: 2..8, large, or all")
 		seeds    = fs.Int("seeds", 3, "seeds per point (paper: 10)")
 		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
 		duration = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
+		index    = fs.String("index", "grid", "radio neighbour index: grid | brute")
+		largeMax = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var radioIndex radio.IndexKind
+	switch *index {
+	case "grid":
+		radioIndex = radio.IndexGrid
+	case "brute":
+		radioIndex = radio.IndexBrute
+	default:
+		return fmt.Errorf("invalid -index %q (want grid or brute)", *index)
+	}
+
 	want := map[int]bool{}
-	if *fig == "all" {
+	wantLarge := false
+	switch *fig {
+	case "all":
 		for i := 2; i <= 8; i++ {
 			want[i] = true
 		}
-	} else {
+	case "large":
+		wantLarge = true
+	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || n < 2 || n > 8 {
-			return fmt.Errorf("invalid -fig %q (want 2..8 or all)", *fig)
+			return fmt.Errorf("invalid -fig %q (want 2..8, large, or all)", *fig)
 		}
 		want[n] = true
 	}
 
 	base := scenario.DefaultConfig()
+	base.RadioIndex = radioIndex
 	if *duration != base.Duration {
-		base.Duration = *duration
-		// Keep the paper's proportions: warm-up then CBR with a 40 s
-		// cool-down tail.
-		base.DataStart = *duration / 5
-		base.DataEnd = *duration - 40*time.Second
-		if base.DataEnd <= base.DataStart {
-			return fmt.Errorf("duration %v too short for a data window", *duration)
+		// Below ~a minute the paper's warm-up/cool-down proportions are
+		// gone and any table would be noise.
+		if *duration <= 60*time.Second {
+			return fmt.Errorf("duration %v too short for a data window (need > 60s)", *duration)
 		}
+		base = scenario.ShortenedData(base, *duration)
 	}
 	seedList := scenario.Seeds(*seeds)
 	start := time.Now()
@@ -103,6 +128,33 @@ func run(args []string) error {
 		}
 		for _, r := range rows {
 			fmt.Printf("%-10.1f | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
+				r.X,
+				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max, r.Gossip.Received.Std,
+				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max, r.Maodv.Received.Std)
+		}
+		fmt.Println()
+	}
+
+	if wantLarge {
+		var xs []float64
+		for _, x := range scenario.LargeScaleXs() {
+			if int(x) <= *largeMax {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return fmt.Errorf("-large-max %d excludes every sweep point", *largeMax)
+		}
+		fmt.Println("=== Large scale: Packet Delivery vs Number of Nodes (constant density, 75 m range) ===")
+		fmt.Printf("(%d seeds, %d packets sent per run, %s index)\n", len(seedList), base.ExpectedPackets(), *index)
+		fmt.Printf("%-10s | %28s | %28s\n", "nodes",
+			"Gossip mean [min,max] (std)", "Maodv mean [min,max] (std)")
+		rows, err := scenario.RunComparison(base, xs, scenario.ApplyLargeScale, seedList, *parallel, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-10.0f | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
 				r.X,
 				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max, r.Gossip.Received.Std,
 				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max, r.Maodv.Received.Std)

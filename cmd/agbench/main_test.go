@@ -13,6 +13,18 @@ func TestRunQuickFigure(t *testing.T) {
 	}
 }
 
+func TestRunQuickLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Capped at the smallest family member so the sweep stays quick;
+	// brute index doubles as coverage of the -index flag.
+	err := run([]string{"-fig", "large", "-large-max", "100", "-seeds", "1", "-duration", "75s", "-index", "brute"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-fig", "1"}); err == nil {
 		t.Fatal("figure 1 accepted (paper has no such experiment)")
@@ -25,6 +37,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-index", "octree"}); err == nil {
+		t.Fatal("unknown index kind accepted")
+	}
+	if err := run([]string{"-fig", "large", "-large-max", "50"}); err == nil {
+		t.Fatal("empty large sweep accepted")
 	}
 }
 

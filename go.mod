@@ -1,0 +1,3 @@
+module anongossip
+
+go 1.24

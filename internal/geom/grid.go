@@ -1,0 +1,175 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniform spatial hash over integer-keyed points. It buckets
+// points into square cells of a fixed size so that range queries visit
+// only the cells overlapping the query disc instead of every stored
+// point. With cell size equal to the query radius a query touches at
+// most a 3×3 block of cells, making neighbour enumeration O(occupancy
+// of those cells) — O(local degree) for the radio layer — rather than
+// O(total points).
+//
+// The grid is unbounded: cell coordinates are derived by flooring the
+// point coordinates, so negative and arbitrarily large positions work.
+// All operations are deterministic: the same sequence of
+// Insert/Move/Remove calls yields the same internal layout, and
+// ForEachInRange visits cells in a fixed row-major order. Callers that
+// need a canonical ordering (the radio layer sorts candidates by node
+// index) must impose it themselves; within one cell, points are visited
+// in an order that depends on the mutation history.
+//
+// Grid is not safe for concurrent use; the simulation kernel is
+// single-threaded.
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	items map[int]gridItem
+}
+
+type cellKey struct {
+	cx, cy int32
+}
+
+type gridItem struct {
+	p    Point
+	cell cellKey
+}
+
+// NewGrid creates a grid with the given cell size in metres. The radio
+// layer uses its transmission range, so a range query inflated by the
+// mobility slack spans at most a 3×3 (occasionally 4×4) cell block.
+// Non-positive cell sizes panic: they indicate a mis-wired caller.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		panic(fmt.Sprintf("geom: invalid grid cell size %v", cellSize))
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]int),
+		items: make(map[int]gridItem),
+	}
+}
+
+// CellSize returns the configured cell edge length in metres.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Len returns the number of stored points.
+func (g *Grid) Len() int { return len(g.items) }
+
+func (g *Grid) keyFor(p Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert stores point p under id. Inserting an id that is already
+// present panics: the radio layer assigns ids once at attach time, so a
+// duplicate indicates a bookkeeping bug, never a runtime condition.
+func (g *Grid) Insert(id int, p Point) {
+	if _, dup := g.items[id]; dup {
+		panic(fmt.Sprintf("geom: duplicate grid insert for id %d", id))
+	}
+	k := g.keyFor(p)
+	g.items[id] = gridItem{p: p, cell: k}
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// Move updates the stored point for id, re-bucketing only when the
+// point crossed a cell boundary. Moving an unknown id panics.
+func (g *Grid) Move(id int, p Point) {
+	it, ok := g.items[id]
+	if !ok {
+		panic(fmt.Sprintf("geom: move of unknown grid id %d", id))
+	}
+	k := g.keyFor(p)
+	if k == it.cell {
+		it.p = p
+		g.items[id] = it
+		return
+	}
+	g.removeFromCell(id, it.cell)
+	g.items[id] = gridItem{p: p, cell: k}
+	g.cells[k] = append(g.cells[k], id)
+}
+
+// Remove deletes id from the grid. Removing an unknown id panics.
+func (g *Grid) Remove(id int) {
+	it, ok := g.items[id]
+	if !ok {
+		panic(fmt.Sprintf("geom: remove of unknown grid id %d", id))
+	}
+	g.removeFromCell(id, it.cell)
+	delete(g.items, id)
+}
+
+func (g *Grid) removeFromCell(id int, k cellKey) {
+	ids := g.cells[k]
+	for i, other := range ids {
+		if other == id {
+			last := len(ids) - 1
+			ids[i] = ids[last]
+			g.cells[k] = ids[:last]
+			if last == 0 {
+				delete(g.cells, k)
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("geom: grid id %d missing from its cell", id))
+}
+
+// At returns the stored point for id.
+func (g *Grid) At(id int) (Point, bool) {
+	it, ok := g.items[id]
+	return it.p, ok
+}
+
+// ForEachInRange calls fn for every stored point within distance r of p
+// (inclusive, matching the radio's unit-disc predicate). Cells are
+// visited in row-major order; within a cell the visit order follows the
+// mutation history. Both orders are deterministic but unspecified —
+// callers needing a canonical order must sort.
+func (g *Grid) ForEachInRange(p Point, r float64, fn func(id int, q Point)) {
+	if r < 0 {
+		return
+	}
+	lo := g.keyFor(Point{X: p.X - r, Y: p.Y - r})
+	hi := g.keyFor(Point{X: p.X + r, Y: p.Y + r})
+	r2 := r * r
+	for cy := lo.cy; cy <= hi.cy; cy++ {
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			for _, id := range g.cells[cellKey{cx: cx, cy: cy}] {
+				it := g.items[id]
+				if it.p.Dist2(p) <= r2 {
+					fn(id, it.p)
+				}
+			}
+		}
+	}
+}
+
+// AppendCandidatesInRange appends to buf the id of every point stored
+// in a cell overlapping the axis-aligned square of half-width r around
+// p — a superset of the disc of radius r — and returns the extended
+// slice. It skips the exact distance check: the radio layer uses it
+// when the stored points are slightly stale and the precise predicate
+// must run against fresh positions. Passing a reused buffer keeps the
+// hot path allocation-free.
+func (g *Grid) AppendCandidatesInRange(p Point, r float64, buf []int) []int {
+	if r < 0 {
+		return buf
+	}
+	lo := g.keyFor(Point{X: p.X - r, Y: p.Y - r})
+	hi := g.keyFor(Point{X: p.X + r, Y: p.Y + r})
+	for cy := lo.cy; cy <= hi.cy; cy++ {
+		for cx := lo.cx; cx <= hi.cx; cx++ {
+			buf = append(buf, g.cells[cellKey{cx: cx, cy: cy}]...)
+		}
+	}
+	return buf
+}

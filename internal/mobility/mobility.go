@@ -10,6 +10,7 @@
 package mobility
 
 import (
+	"math"
 	"time"
 
 	"anongossip/internal/geom"
@@ -23,6 +24,31 @@ type Model interface {
 	Position(t sim.Time) geom.Point
 }
 
+// Speeder is implemented by models that can bound how fast they move.
+// MaxSpeed returns a conservative upper bound in m/s on the node's
+// speed at any simulation time; 0 means the node never moves. The
+// radio layer's spatial grid uses the bound to decide how long a
+// bucketed position stays valid (a node cannot drift more than
+// MaxSpeed·Δt metres from where it was last bucketed), so returning a
+// value that the trajectory can exceed breaks neighbour queries.
+// Models that cannot bound their speed simply do not implement
+// Speeder; the grid then treats them as always stale (see
+// mobility.MaxSpeedOf).
+type Speeder interface {
+	MaxSpeed() float64
+}
+
+// MaxSpeedOf returns the conservative speed bound for m, and whether
+// the model provided one. Models without a bound force the caller to
+// re-validate positions at every query epoch.
+func MaxSpeedOf(m Model) (float64, bool) {
+	s, ok := m.(Speeder)
+	if !ok {
+		return math.Inf(1), false
+	}
+	return s.MaxSpeed(), true
+}
+
 // Static is a node that never moves.
 type Static struct {
 	P geom.Point
@@ -30,6 +56,9 @@ type Static struct {
 
 // Position implements Model.
 func (s Static) Position(sim.Time) geom.Point { return s.P }
+
+// MaxSpeed implements Speeder: a static node never moves.
+func (s Static) MaxSpeed() float64 { return 0 }
 
 // WaypointConfig parameterises the Random Waypoint model.
 type WaypointConfig struct {
@@ -77,7 +106,11 @@ type Waypoint struct {
 	legs []leg
 }
 
-var _ Model = (*Waypoint)(nil)
+var (
+	_ Model   = (*Waypoint)(nil)
+	_ Speeder = (*Waypoint)(nil)
+	_ Speeder = Static{}
+)
 
 // NewWaypoint creates a trajectory starting at a uniformly random point in
 // the configured area. rng must be a dedicated sub-stream: the model
@@ -147,3 +180,16 @@ func (w *Waypoint) Position(t sim.Time) geom.Point {
 // Legs returns the number of trajectory segments generated so far. It is
 // exported for tests and diagnostics.
 func (w *Waypoint) Legs() int { return len(w.legs) }
+
+// MaxSpeed implements Speeder. Per-leg speeds are drawn with
+// rng.Uniform(MinSpeed, MaxSpeed) — which returns MinSpeed when the
+// bounds are inverted — and raised to floorSpeed when below it, so the
+// conservative bound is the largest of the three. A non-positive
+// configured MaxSpeed degenerates to an eternally pausing (static)
+// trajectory regardless of MinSpeed.
+func (w *Waypoint) MaxSpeed() float64 {
+	if w.cfg.MaxSpeed <= 0 {
+		return 0
+	}
+	return math.Max(math.Max(w.cfg.MinSpeed, w.cfg.MaxSpeed), floorSpeed)
+}

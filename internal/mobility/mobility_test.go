@@ -173,3 +173,72 @@ func TestWaypointProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMaxSpeedBounds(t *testing.T) {
+	if got := (Static{}).MaxSpeed(); got != 0 {
+		t.Fatalf("Static.MaxSpeed = %v, want 0", got)
+	}
+	w := NewWaypoint(testConfig(), sim.NewRNG(1))
+	if got := w.MaxSpeed(); got != 2 {
+		t.Fatalf("Waypoint.MaxSpeed = %v, want configured 2", got)
+	}
+	// Sub-floor configured speeds are raised to floorSpeed per leg, so
+	// the bound must report the floor, not the configuration.
+	slow := testConfig()
+	slow.MaxSpeed = 0.001
+	if got := NewWaypoint(slow, sim.NewRNG(1)).MaxSpeed(); got != floorSpeed {
+		t.Fatalf("sub-floor MaxSpeed = %v, want floorSpeed %v", got, floorSpeed)
+	}
+	// A non-positive max speed degenerates to a static trajectory.
+	still := testConfig()
+	still.MaxSpeed = 0
+	if got := NewWaypoint(still, sim.NewRNG(1)).MaxSpeed(); got != 0 {
+		t.Fatalf("degenerate MaxSpeed = %v, want 0", got)
+	}
+	// Inverted bounds: Uniform(lo, hi) returns lo when hi <= lo, so legs
+	// actually travel at MinSpeed — the bound must cover it.
+	inv := testConfig()
+	inv.MinSpeed, inv.MaxSpeed = 2, 0.5
+	if got := NewWaypoint(inv, sim.NewRNG(1)).MaxSpeed(); got != 2 {
+		t.Fatalf("inverted-bounds MaxSpeed = %v, want MinSpeed 2", got)
+	}
+}
+
+func TestMaxSpeedOf(t *testing.T) {
+	if v, ok := MaxSpeedOf(Static{}); !ok || v != 0 {
+		t.Fatalf("MaxSpeedOf(Static) = %v,%v, want 0,true", v, ok)
+	}
+	if v, ok := MaxSpeedOf(boundlessModel{}); ok || !math.IsInf(v, 1) {
+		t.Fatalf("MaxSpeedOf(no Speeder) = %v,%v, want +Inf,false", v, ok)
+	}
+}
+
+// boundlessModel implements Model but not Speeder.
+type boundlessModel struct{}
+
+func (boundlessModel) Position(sim.Time) geom.Point { return geom.Point{} }
+
+// TestWaypointRespectsMaxSpeed is the contract the radio grid depends
+// on: sampled displacement between any two instants never exceeds the
+// reported bound times the elapsed time (plus float slack).
+func TestWaypointRespectsMaxSpeed(t *testing.T) {
+	f := func(seed int64, speedTenths uint8) bool {
+		c := testConfig()
+		c.MaxSpeed = float64(speedTenths%100) / 10
+		w := NewWaypoint(c, sim.NewRNG(seed))
+		bound := w.MaxSpeed()
+		const step = 500 * time.Millisecond
+		prev := w.Position(0)
+		for ts := step; ts <= 120*time.Second; ts += step {
+			p := w.Position(ts)
+			if dist := p.Dist(prev); dist > bound*step.Seconds()*(1+1e-9)+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/mobility"
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// unboundedModel hides the Speeder implementation of the wrapped model,
+// forcing the grid index down its conservative per-timestamp refresh
+// path.
+type unboundedModel struct{ m mobility.Model }
+
+func (u unboundedModel) Position(t sim.Time) geom.Point { return u.m.Position(t) }
+
+// fuzzWorld is one medium plus logs of everything observable.
+type fuzzWorld struct {
+	sched *sim.Scheduler
+	m     *Medium
+	trs   []*Transceiver
+	log   []string
+}
+
+func newFuzzWorld(kind IndexKind, seed int64, n int, area geom.Rect, maxSpeed float64) *fuzzWorld {
+	w := &fuzzWorld{sched: sim.NewScheduler()}
+	w.m = NewMedium(w.sched, Params{Range: 75, Index: kind})
+	root := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		i := i
+		var mob mobility.Model = mobility.NewWaypoint(mobility.WaypointConfig{
+			Area: area, MaxSpeed: maxSpeed, MaxPause: 5 * time.Second,
+		}, root.Derive(fmt.Sprintf("mob/%d", i)))
+		if i%7 == 3 {
+			// A few nodes without a speed bound exercise the grid's
+			// always-refresh fallback.
+			mob = unboundedModel{m: mob}
+		}
+		id := pkt.NodeID(i + 1)
+		tr := w.m.Attach(id, mob, func(frame any, from pkt.NodeID, ok bool) {
+			w.log = append(w.log, fmt.Sprintf("rx@%v node=%d frame=%v from=%d ok=%v", w.sched.Now(), id, frame, from, ok))
+		})
+		w.trs = append(w.trs, tr)
+	}
+	return w
+}
+
+// fuzzOp is one scheduled action, applied identically to both worlds.
+type fuzzOp struct {
+	at   sim.Time
+	node int
+	kind int // 0 = StartTx, 1 = NeighborsOf, 2 = CarrierBusyUntil, 3 = MeanDegree
+}
+
+func (w *fuzzWorld) schedule(ops []fuzzOp) {
+	for i, op := range ops {
+		i, op := i, op
+		w.sched.At(op.at, func() {
+			switch op.kind {
+			case 0:
+				err := w.trs[op.node].StartTx(fmt.Sprintf("f%d", i), 2*time.Millisecond)
+				w.log = append(w.log, fmt.Sprintf("tx@%v node=%d err=%v", w.sched.Now(), op.node, err != nil))
+			case 1:
+				w.log = append(w.log, fmt.Sprintf("nbr@%v node=%d %v", w.sched.Now(), op.node, w.m.NeighborsOf(pkt.NodeID(op.node+1))))
+			case 2:
+				w.log = append(w.log, fmt.Sprintf("sense@%v node=%d until=%v", w.sched.Now(), op.node, w.trs[op.node].CarrierBusyUntil()))
+			case 3:
+				w.log = append(w.log, fmt.Sprintf("deg@%v %v", w.sched.Now(), w.m.MeanDegree()))
+			}
+		})
+	}
+}
+
+// TestGridMatchesBruteUnderRandomMobility is the radio-level differential
+// fuzz test: the grid and brute-force indexes must produce identical
+// neighbour sets, carrier-sense answers, degree metrics, reception logs
+// and channel statistics while nodes move randomly — including fast
+// movers that cross many grid cells and nodes with no declared speed
+// bound.
+func TestGridMatchesBruteUnderRandomMobility(t *testing.T) {
+	area := geom.Rect{W: 400, H: 400}
+	for _, seed := range []int64{1, 2, 3} {
+		opRNG := sim.NewRNG(seed).Derive("ops")
+		const nNodes = 50
+		var ops []fuzzOp
+		for i := 0; i < 3000; i++ {
+			ops = append(ops, fuzzOp{
+				at:   opRNG.Duration(200 * time.Second),
+				node: opRNG.Intn(nNodes),
+				kind: opRNG.Intn(4),
+			})
+		}
+
+		grid := newFuzzWorld(IndexGrid, seed, nNodes, area, 10)
+		brute := newFuzzWorld(IndexBrute, seed, nNodes, area, 10)
+		grid.schedule(ops)
+		brute.schedule(ops)
+		grid.sched.Run(250 * time.Second)
+		brute.sched.Run(250 * time.Second)
+
+		if len(grid.log) != len(brute.log) {
+			t.Fatalf("seed %d: log lengths differ: grid %d, brute %d", seed, len(grid.log), len(brute.log))
+		}
+		for i := range grid.log {
+			if grid.log[i] != brute.log[i] {
+				t.Fatalf("seed %d: log line %d differs:\ngrid:  %s\nbrute: %s", seed, i, grid.log[i], brute.log[i])
+			}
+		}
+		if gs, bs := grid.m.Stats(), brute.m.Stats(); !reflect.DeepEqual(gs, bs) {
+			t.Fatalf("seed %d: stats differ: grid %+v, brute %+v", seed, gs, bs)
+		}
+		for i := range grid.trs {
+			gs, gd, gc := grid.trs[i].Counters()
+			bs, bd, bc := brute.trs[i].Counters()
+			if gs != bs || gd != bd || gc != bc {
+				t.Fatalf("seed %d node %d: counters differ: grid (%d,%d,%d), brute (%d,%d,%d)",
+					seed, i, gs, gd, gc, bs, bd, bc)
+			}
+		}
+	}
+}
+
+// TestGridNeighborsMatchBruteStatic pins the simplest invariant: with
+// static nodes the two indexes agree on every neighbour query, including
+// nodes exactly at range.
+func TestGridNeighborsMatchBruteStatic(t *testing.T) {
+	positions := []geom.Point{{X: 0, Y: 0}, {X: 75, Y: 0}, {X: 76, Y: 0}, {X: 0, Y: 74.999}, {X: 300, Y: 300}}
+	var mediums []*Medium
+	for _, kind := range []IndexKind{IndexGrid, IndexBrute} {
+		sched := sim.NewScheduler()
+		m := NewMedium(sched, Params{Range: 75, Index: kind})
+		for i, p := range positions {
+			m.Attach(pkt.NodeID(i+1), mobility.Static{P: p}, nil)
+		}
+		mediums = append(mediums, m)
+	}
+	for i := range positions {
+		id := pkt.NodeID(i + 1)
+		g, b := mediums[0].NeighborsOf(id), mediums[1].NeighborsOf(id)
+		if !reflect.DeepEqual(g, b) {
+			t.Fatalf("node %d: grid %v, brute %v", id, g, b)
+		}
+	}
+	if g, b := mediums[0].MeanDegree(), mediums[1].MeanDegree(); g != b {
+		t.Fatalf("MeanDegree: grid %v, brute %v", g, b)
+	}
+}
+
+// benchMedium builds n uniformly placed slow waypoint nodes on a field
+// sized for constant density (the large-scale family's regime).
+func benchMedium(b *testing.B, kind IndexKind, n int) (*sim.Scheduler, []*Transceiver) {
+	b.Helper()
+	side := 200 * math.Sqrt(float64(n)/40) // density-preserving: side² ∝ n
+	area := geom.Rect{W: side, H: side}
+	sched := sim.NewScheduler()
+	m := NewMedium(sched, Params{Range: 75, Index: kind})
+	root := sim.NewRNG(7)
+	trs := make([]*Transceiver, n)
+	for i := 0; i < n; i++ {
+		mob := mobility.NewWaypoint(mobility.WaypointConfig{
+			Area: area, MaxSpeed: 0.2, MaxPause: 80 * time.Second,
+		}, root.Derive(fmt.Sprintf("mob/%d", i)))
+		trs[i] = m.Attach(pkt.NodeID(i+1), mob, nil)
+	}
+	return sched, trs
+}
+
+// benchStartTx measures the radio hot path in isolation: repeated
+// transmissions from rotating nodes, each scheduling receptions for its
+// in-range neighbours, plus the carrier sensing the MAC would do.
+func benchStartTx(b *testing.B, kind IndexKind, n int) {
+	sched, trs := benchMedium(b, kind, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := trs[i%n]
+		_ = tr.CarrierBusyUntil()
+		_ = tr.StartTx(i, 100*time.Microsecond)
+		if i%16 == 15 {
+			sched.Run(sched.Now() + time.Millisecond)
+		}
+	}
+	sched.Run(sched.Now() + time.Second)
+}
+
+func BenchmarkStartTx250Grid(b *testing.B)   { benchStartTx(b, IndexGrid, 250) }
+func BenchmarkStartTx250Brute(b *testing.B)  { benchStartTx(b, IndexBrute, 250) }
+func BenchmarkStartTx1000Grid(b *testing.B)  { benchStartTx(b, IndexGrid, 1000) }
+func BenchmarkStartTx1000Brute(b *testing.B) { benchStartTx(b, IndexBrute, 1000) }
+
+func benchNeighbors(b *testing.B, kind IndexKind, n int) {
+	_, trs := benchMedium(b, kind, n)
+	m := trs[0].medium
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.NeighborsOf(pkt.NodeID(i%n + 1))
+	}
+}
+
+func BenchmarkNeighborsOf250Grid(b *testing.B)   { benchNeighbors(b, IndexGrid, 250) }
+func BenchmarkNeighborsOf250Brute(b *testing.B)  { benchNeighbors(b, IndexBrute, 250) }
+func BenchmarkNeighborsOf1000Grid(b *testing.B)  { benchNeighbors(b, IndexGrid, 1000) }
+func BenchmarkNeighborsOf1000Brute(b *testing.B) { benchNeighbors(b, IndexBrute, 1000) }

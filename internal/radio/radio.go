@@ -28,6 +28,9 @@ import (
 type Params struct {
 	// Range is the transmission (and carrier-sense) radius in metres.
 	Range float64
+	// Index selects the neighbour lookup strategy (default IndexGrid;
+	// see IndexKind). Both strategies produce bit-identical simulations.
+	Index IndexKind
 }
 
 // Stats aggregates channel-level counters for the whole medium.
@@ -52,6 +55,10 @@ type transmission struct {
 	start  sim.Time
 	end    sim.Time
 	origin geom.Point
+	// indexID and slot are gridIndex bookkeeping (its txByID key and
+	// position in its active slice); unused by the brute-force index.
+	indexID int
+	slot    int
 }
 
 // reception tracks one frame arriving at one transceiver.
@@ -65,13 +72,23 @@ type Medium struct {
 	sched  *sim.Scheduler
 	params Params
 	nodes  []*Transceiver
-	active []*transmission
+	byID   map[pkt.NodeID]*Transceiver
+	index  NeighborIndex
 	stats  Stats
 }
 
-// NewMedium creates a channel managed by sched.
+// NewMedium creates a channel managed by sched. Unless Params.Index
+// says otherwise, neighbour lookups use the spatial grid; a
+// non-positive range (only seen in degenerate test setups) falls back
+// to the brute-force scan, which needs no cell size.
 func NewMedium(sched *sim.Scheduler, params Params) *Medium {
-	return &Medium{sched: sched, params: params}
+	m := &Medium{sched: sched, params: params, byID: make(map[pkt.NodeID]*Transceiver)}
+	if params.Index == IndexBrute || params.Range <= 0 {
+		m.index = newBruteIndex()
+	} else {
+		m.index = newGridIndex(sched, params.Range)
+	}
+	return m
 }
 
 // Stats returns a copy of the channel counters.
@@ -85,6 +102,10 @@ func (m *Medium) Range() float64 { return m.params.Range }
 func (m *Medium) Attach(id pkt.NodeID, pos mobility.Model, h Handler) *Transceiver {
 	t := &Transceiver{id: id, medium: m, pos: pos, handler: h}
 	m.nodes = append(m.nodes, t)
+	if _, dup := m.byID[id]; !dup {
+		m.byID[id] = t
+	}
+	m.index.Attach(t)
 	return t
 }
 
@@ -130,7 +151,9 @@ func (t *Transceiver) Counters() (sent, delivered, collided uint64) {
 
 // CarrierBusyUntil returns the latest end time of any in-range
 // transmission (including the node's own). A result <= now means the
-// channel is idle at the sensing node.
+// channel is idle at the sensing node. The index enumerates only
+// transmissions whose origin is within range, so the cost is O(local
+// activity), not O(all active transmissions).
 func (t *Transceiver) CarrierBusyUntil() sim.Time {
 	m := t.medium
 	now := m.sched.Now()
@@ -138,19 +161,15 @@ func (t *Transceiver) CarrierBusyUntil() sim.Time {
 	if t.txEnd > now {
 		until = t.txEnd
 	}
-	if len(m.active) == 0 {
+	if !m.index.HasTx() {
 		return until
 	}
 	p := t.pos.Position(now)
-	r2 := m.params.Range * m.params.Range
-	for _, tx := range m.active {
-		if tx.from == t || tx.end <= now {
-			continue
-		}
-		if p.Dist2(tx.origin) <= r2 && tx.end > until {
+	m.index.ForEachTxInRange(now, p, m.params.Range, func(tx *transmission) {
+		if tx.from != t && tx.end > until {
 			until = tx.end
 		}
-	}
+	})
 	return until
 }
 
@@ -169,7 +188,7 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 
 	origin := t.pos.Position(now)
 	tx := &transmission{from: t, frame: frame, start: now, end: now + airtime, origin: origin}
-	m.active = append(m.active, tx)
+	m.index.AddTx(tx)
 	m.stats.Transmissions++
 	t.sent++
 	t.txEnd = tx.end
@@ -182,13 +201,15 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 		}
 	}
 
+	// The index yields a position-superset in attach order; the exact
+	// unit-disc predicate runs here against fresh positions.
 	r2 := m.params.Range * m.params.Range
-	for _, rcv := range m.nodes {
+	m.index.ForEachCandidate(now, origin, m.params.Range, func(rcv *Transceiver) {
 		if rcv == t {
-			continue
+			return
 		}
 		if rcv.pos.Position(now).Dist2(origin) > r2 {
-			continue
+			return
 		}
 		rec := &reception{tx: tx}
 		// A node mid-transmission cannot hear the frame, and any
@@ -202,11 +223,10 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 			rec.corrupted = true
 		}
 		rcv.receptions = append(rcv.receptions, rec)
-		rcv := rcv
 		m.sched.At(tx.end, func() { rcv.finishReception(rec) })
-	}
+	})
 
-	m.sched.At(tx.end, func() { m.removeTransmission(tx) })
+	m.sched.At(tx.end, func() { m.index.RemoveTx(tx) })
 	return nil
 }
 
@@ -237,67 +257,53 @@ func (t *Transceiver) finishReception(rec *reception) {
 	}
 }
 
-func (m *Medium) removeTransmission(tx *transmission) {
-	for i, a := range m.active {
-		if a == tx {
-			last := len(m.active) - 1
-			m.active[i] = m.active[last]
-			m.active[last] = nil
-			m.active = m.active[:last]
-			return
-		}
-	}
-}
-
 // NeighborsOf returns the IDs of all nodes currently within range of node
-// id. It is used by diagnostics and topology metrics, not by protocols
-// (which must discover neighbours through the channel, as in the paper).
+// id, in attach order. It is used by diagnostics and topology metrics,
+// not by protocols (which must discover neighbours through the channel,
+// as in the paper).
 func (m *Medium) NeighborsOf(id pkt.NodeID) []pkt.NodeID {
-	var self *Transceiver
-	for _, t := range m.nodes {
-		if t.id == id {
-			self = t
-			break
-		}
-	}
-	if self == nil {
+	self, ok := m.byID[id]
+	if !ok {
 		return nil
 	}
 	now := m.sched.Now()
 	p := self.pos.Position(now)
 	r2 := m.params.Range * m.params.Range
 	var out []pkt.NodeID
-	for _, t := range m.nodes {
+	m.index.ForEachCandidate(now, p, m.params.Range, func(t *Transceiver) {
 		if t == self {
-			continue
+			return
 		}
 		if t.pos.Position(now).Dist2(p) <= r2 {
 			out = append(out, t.id)
 		}
-	}
+	})
 	return out
 }
 
 // MeanDegree returns the average neighbour count over all attached nodes
 // at the current time. The Fig. 6 experiment uses it to scale range with
-// node count.
+// node count. Positions are snapshotted once per call, so the cost is
+// N·degree distance checks through the grid (N² with the brute index)
+// on top of N position evaluations.
 func (m *Medium) MeanDegree() float64 {
 	if len(m.nodes) == 0 {
 		return 0
 	}
 	now := m.sched.Now()
-	pts := make([]geom.Point, len(m.nodes))
-	for i, t := range m.nodes {
-		pts[i] = t.pos.Position(now)
-	}
 	r2 := m.params.Range * m.params.Range
+	pts := make(map[*Transceiver]geom.Point, len(m.nodes))
+	for _, t := range m.nodes {
+		pts[t] = t.pos.Position(now)
+	}
 	var links int
-	for i := range pts {
-		for j := i + 1; j < len(pts); j++ {
-			if pts[i].Dist2(pts[j]) <= r2 {
+	for _, self := range m.nodes {
+		p := pts[self]
+		m.index.ForEachCandidate(now, p, m.params.Range, func(t *Transceiver) {
+			if t != self && pts[t].Dist2(p) <= r2 {
 				links++
 			}
-		}
+		})
 	}
-	return 2 * float64(links) / float64(len(m.nodes))
+	return float64(links) / float64(len(m.nodes))
 }

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"anongossip/internal/radio"
+)
+
+// TestLargeScaleFamilyHoldsDensity checks the family's defining
+// invariant: node density (and hence expected mean degree) stays at the
+// 40-node baseline while the field grows with the node count and the
+// range stays at the paper's 75 m.
+func TestLargeScaleFamilyHoldsDensity(t *testing.T) {
+	base := DefaultConfig()
+	baseDensity := float64(base.Nodes) / base.Area.Area()
+	for _, x := range LargeScaleXs() {
+		cfg := ApplyLargeScale(base, x)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("n=%v: invalid config: %v", x, err)
+		}
+		if cfg.TxRange != 75 {
+			t.Fatalf("n=%v: range %v, want the paper's 75 m", x, cfg.TxRange)
+		}
+		density := float64(cfg.Nodes) / cfg.Area.Area()
+		if math.Abs(density-baseDensity)/baseDensity > 0.01 {
+			t.Fatalf("n=%v: density %v deviates from baseline %v", x, density, baseDensity)
+		}
+		if cfg.Area.W != cfg.Area.H {
+			t.Fatalf("n=%v: non-square field %+v", x, cfg.Area)
+		}
+	}
+}
+
+func TestShortenedDataKeepsProportions(t *testing.T) {
+	cfg := ShortenedData(DefaultConfig(), 120*time.Second)
+	if cfg.Duration != 120*time.Second || cfg.DataStart != 24*time.Second || cfg.DataEnd != 80*time.Second {
+		t.Fatalf("120 s reshape: start %v end %v", cfg.DataStart, cfg.DataEnd)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("reshaped config invalid: %v", err)
+	}
+	// Short runs collapse the fixed 40 s tail so a window survives.
+	cfg = ShortenedData(DefaultConfig(), 30*time.Second)
+	if cfg.DataEnd <= cfg.DataStart || cfg.DataEnd > cfg.Duration {
+		t.Fatalf("30 s reshape: start %v end %v", cfg.DataStart, cfg.DataEnd)
+	}
+}
+
+// TestLargeScale250GridBruteBitIdentical is the determinism acceptance
+// test for the neighbour-index refactor: a 250-node run must produce
+// bit-identical results — every member count, latency, byte counter and
+// the event total — whether the radio uses the spatial grid or the
+// brute-force scan. Short mode trims the simulated time, not the node
+// count, so CI still exercises the 250-node grid geometry.
+func TestLargeScale250GridBruteBitIdentical(t *testing.T) {
+	duration := 60 * time.Second
+	if testing.Short() {
+		duration = 20 * time.Second
+	}
+	cfg := ShortenedData(LargeScaleConfig(250), duration)
+	cfg.Seed = 11
+
+	cfg.RadioIndex = radio.IndexGrid
+	grid, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RadioIndex = radio.IndexBrute
+	brute, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grid, brute) {
+		t.Fatalf("grid and brute runs diverged:\ngrid:  %+v\nbrute: %+v", grid, brute)
+	}
+	if grid.Sent == 0 || grid.Received.Mean == 0 {
+		t.Fatalf("degenerate run: sent %d, mean received %v", grid.Sent, grid.Received.Mean)
+	}
+}
+
+// TestBaselineGridBruteBitIdentical covers the paper's own operating
+// point (40 nodes, mobile, full protocol stack) across two seeds.
+func TestBaselineGridBruteBitIdentical(t *testing.T) {
+	duration := 240 * time.Second
+	if testing.Short() {
+		duration = 120 * time.Second
+	}
+	for _, seed := range []int64{1, 5} {
+		cfg := ShortenedData(DefaultConfig(), duration)
+		cfg.Seed = seed
+		cfg.RadioIndex = radio.IndexGrid
+		grid, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.RadioIndex = radio.IndexBrute
+		brute, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(grid, brute) {
+			t.Fatalf("seed %d: grid and brute runs diverged", seed)
+		}
+	}
+}
+
+// TestLargeScaleRunsDeliver sanity-checks the smallest family member
+// end to end: the scaled field stays connected enough for multicast to
+// deliver a meaningful share of traffic.
+func TestLargeScaleRunsDeliver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: covered by the 250-node determinism test")
+	}
+	cfg := ShortenedData(LargeScaleConfig(100), 90*time.Second)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no packets sent")
+	}
+	if ratio := res.DeliveryRatio(); ratio < 0.2 {
+		t.Fatalf("delivery ratio %.2f suspiciously low for the 100-node member", ratio)
+	}
+	if res.MeanDegree < 5 || res.MeanDegree > 40 {
+		t.Fatalf("mean degree %.1f outside the constant-density band", res.MeanDegree)
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	MemberFraction float64
 	// TxRange is the radio transmission range in metres.
 	TxRange float64
+	// RadioIndex selects the medium's neighbour lookup strategy. The
+	// default (radio.IndexGrid) keeps radio events O(local degree);
+	// radio.IndexBrute restores the O(N) scan for differential testing.
+	// Both produce bit-identical results for the same seed.
+	RadioIndex radio.IndexKind
 	// MinSpeed/MaxSpeed bound random-waypoint speeds (m/s).
 	MinSpeed, MaxSpeed float64
 	// MaxPause bounds the waypoint rest period (80 s in the paper).
@@ -308,7 +313,7 @@ func (t treeAdapter) IsMember(g pkt.GroupID) bool { return t.r.IsMember(g) }
 
 func build(cfg Config) (*world, error) {
 	w := &world{cfg: cfg, sched: sim.NewScheduler()}
-	w.medium = radio.NewMedium(w.sched, radio.Params{Range: cfg.TxRange})
+	w.medium = radio.NewMedium(w.sched, radio.Params{Range: cfg.TxRange, Index: cfg.RadioIndex})
 	root := sim.NewRNG(cfg.Seed)
 
 	mobCfg := mobility.WaypointConfig{

@@ -26,6 +26,7 @@ type Timer struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	sched     *Scheduler
 	cancelled bool
 	fired     bool
 }
@@ -34,10 +35,23 @@ type Timer struct {
 func (t *Timer) At() Time { return t.at }
 
 // Cancel prevents the timer from firing. It is safe to call more than once
-// and safe to call after the timer has fired.
-func (t *Timer) Cancel() { t.cancelled = true }
+// and safe to call after the timer has fired. Cancelled timers do not
+// linger until their deadline: the scheduler compacts its queue once
+// they outnumber the live entries, so long runs with many cancelled
+// MAC/route timers don't bloat the heap.
+func (t *Timer) Cancel() {
+	if t.cancelled || t.fired {
+		return
+	}
+	t.cancelled = true
+	t.fn = nil // release captured state promptly
+	if t.sched != nil {
+		t.sched.noteCancelled()
+	}
+}
 
-// Cancelled reports whether Cancel was called.
+// Cancelled reports whether Cancel was called before the timer fired;
+// cancelling after firing is a no-op and leaves this false.
 func (t *Timer) Cancelled() bool { return t.cancelled }
 
 // Fired reports whether the timer's callback has run.
@@ -85,6 +99,9 @@ type Scheduler struct {
 
 	// processed counts events executed so far (cancelled events excluded).
 	processed uint64
+	// cancelled counts timers in the heap whose Cancel ran; Pending
+	// subtracts it and compact drops them.
+	cancelled int
 }
 
 // NewScheduler returns a scheduler positioned at time zero.
@@ -98,9 +115,39 @@ func (s *Scheduler) Now() Time { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
-// Pending returns the number of events currently scheduled, including
-// cancelled events that have not yet been discarded.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of live (non-cancelled) events currently
+// scheduled.
+func (s *Scheduler) Pending() int { return len(s.events) - s.cancelled }
+
+// noteCancelled records one cancelled-but-queued timer and compacts the
+// heap when cancelled entries outnumber live ones. The 64-entry floor
+// keeps tiny queues from compacting constantly; the one-half ratio
+// bounds the heap at twice the live count, making the amortised cost of
+// each cancellation O(1) heap work.
+func (s *Scheduler) noteCancelled() {
+	s.cancelled++
+	if s.cancelled >= 64 && s.cancelled > len(s.events)/2 {
+		s.compact()
+	}
+}
+
+// compact rebuilds the heap without its cancelled entries. Ordering is
+// unaffected: the surviving timers keep their (at, seq) keys, so runs
+// with and without compaction execute identically.
+func (s *Scheduler) compact() {
+	live := s.events[:0]
+	for _, t := range s.events {
+		if !t.cancelled {
+			live = append(live, t)
+		}
+	}
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.cancelled = 0
+	heap.Init(&s.events)
+}
 
 // After schedules fn to run d after the current time and returns a handle
 // that can cancel it. A negative d is treated as zero: the event fires at
@@ -121,7 +168,7 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
-	timer := &Timer{at: t, seq: s.seq, fn: fn}
+	timer := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
 	s.seq++
 	heap.Push(&s.events, timer)
 	return timer
@@ -144,6 +191,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 		}
 		heap.Pop(&s.events)
 		if next.cancelled {
+			s.cancelled--
 			continue
 		}
 		s.now = next.at
@@ -168,6 +216,7 @@ func (s *Scheduler) RunAll(maxEvents uint64) (uint64, bool) {
 		next := s.events[0]
 		heap.Pop(&s.events)
 		if next.cancelled {
+			s.cancelled--
 			continue
 		}
 		s.now = next.at

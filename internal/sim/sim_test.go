@@ -223,6 +223,101 @@ func TestSchedulerCancelAccountingProperty(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := NewScheduler()
+	timers := make([]*Timer, 10)
+	for i := range timers {
+		timers[i] = s.After(time.Second, func() {})
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for _, tm := range timers[:4] {
+		tm.Cancel()
+		tm.Cancel() // double-cancel must not double-count
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	s.Run(2 * time.Second)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+	if got := s.Processed(); got != 6 {
+		t.Fatalf("Processed = %d, want 6", got)
+	}
+}
+
+// TestCancelCompactsHeap is the leak regression test: cancelling far-future
+// timers must shrink the queue long before their deadlines arrive, instead
+// of letting them ride in the heap (the pre-fix behaviour, where a long run
+// with many cancelled MAC/route timers grew the queue without bound).
+func TestCancelCompactsHeap(t *testing.T) {
+	s := NewScheduler()
+	const n = 10000
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = s.After(time.Hour, func() {})
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after cancelling all = %d, want 0", got)
+	}
+	// The heap itself must have been compacted, not just the count.
+	if got := len(s.events); got >= n/2 {
+		t.Fatalf("heap holds %d entries after cancelling all %d, want compaction", got, n)
+	}
+}
+
+// TestCompactionPreservesOrdering drains a mixed live/cancelled schedule
+// through a forced compaction and checks the survivors still fire in
+// exact (time, insertion) order. Cancelling two thirds of the timers
+// guarantees the cancelled count crosses the one-half compaction
+// threshold while survivors remain to witness the ordering.
+func TestCompactionPreservesOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var cancel []*Timer
+	want := make([]int, 0, 500)
+	for i := 0; i < 500; i++ {
+		i := i
+		d := Time(i%7) * time.Second
+		tm := s.After(d, func() { got = append(got, i) })
+		if i%3 != 0 {
+			cancel = append(cancel, tm)
+		} else {
+			want = append(want, i)
+		}
+	}
+	before := len(s.events)
+	for _, tm := range cancel {
+		tm.Cancel()
+	}
+	if len(s.events) >= before {
+		t.Fatalf("heap did not compact: %d entries before, %d after cancelling %d", before, len(s.events), len(cancel))
+	}
+	s.Run(10 * time.Second)
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	// Reconstruct the expected order: stable by (delay, insertion index).
+	byTime := map[int][]int{}
+	for _, i := range want {
+		byTime[i%7] = append(byTime[i%7], i)
+	}
+	var expect []int
+	for d := 0; d < 7; d++ {
+		expect = append(expect, byTime[d]...)
+	}
+	for k := range expect {
+		if got[k] != expect[k] {
+			t.Fatalf("event %d fired as %d, want %d (compaction broke ordering)", k, got[k], expect[k])
+		}
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a := NewRNG(42)
 	b := NewRNG(42)
