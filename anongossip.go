@@ -35,6 +35,7 @@ import (
 
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
+	"anongossip/internal/sim"
 )
 
 // Protocol selects the multicast stack under test.
@@ -118,6 +119,21 @@ const (
 	IndexGrid = radio.IndexGrid
 	// IndexBrute scans every transceiver, kept for differential testing.
 	IndexBrute = radio.IndexBrute
+)
+
+// QueueKind selects the simulation kernel's event-queue implementation
+// (see Config.EventQueue). The pooled 4-ary heap is allocation-free on
+// the push/pop path; the container/heap reference is kept for
+// differential testing. Both produce bit-identical results for the
+// same seed.
+type QueueKind = sim.QueueKind
+
+// Event-queue implementations.
+const (
+	// QueueQuad (the default) is the pooled, indexed 4-ary min-heap.
+	QueueQuad = sim.QueueQuad
+	// QueueRef is the original container/heap binary heap.
+	QueueRef = sim.QueueRef
 )
 
 // LargeScaleXs returns the node counts of the large-scale experiment

@@ -20,6 +20,7 @@ import (
 	"anongossip/internal/gossip"
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
+	"anongossip/internal/sim"
 )
 
 func benchSeeds() []int64 {
@@ -255,14 +256,16 @@ func BenchmarkSingleRun(b *testing.B) {
 // --- large-scale family (beyond the paper; see EXPERIMENTS.md §L) ---
 
 // benchLargeScale runs one large-scale simulation per iteration with the
-// chosen neighbour index. The grid/brute pairs at the same node count
-// execute bit-identical event schedules (asserted by the scenario
-// tests), so their ns/op difference isolates the index's cost: simulator
-// performance, not a protocol result.
-func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, duration time.Duration) {
+// chosen neighbour index and event queue. The grid/brute and quad/ref
+// pairs at the same node count execute bit-identical event schedules
+// (asserted by the scenario tests), so their ns/op differences isolate
+// the index's and the queue's costs: simulator performance, not a
+// protocol result.
+func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, queue sim.QueueKind, duration time.Duration) {
 	b.Helper()
 	cfg := scenario.ShortenedData(scenario.LargeScaleConfig(nodes), duration)
 	cfg.RadioIndex = kind
+	cfg.EventQueue = queue
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		res, err := scenario.Run(cfg)
@@ -281,22 +284,36 @@ func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, duration tim
 // the brute-force O(N) scans fall further behind the grid's O(degree)
 // queries.
 func BenchmarkLargeScale250Grid(b *testing.B) {
-	benchLargeScale(b, 250, radio.IndexGrid, 60*time.Second)
+	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueQuad, 60*time.Second)
 }
 func BenchmarkLargeScale250Brute(b *testing.B) {
-	benchLargeScale(b, 250, radio.IndexBrute, 60*time.Second)
+	benchLargeScale(b, 250, radio.IndexBrute, sim.QueueQuad, 60*time.Second)
 }
 func BenchmarkLargeScale500Grid(b *testing.B) {
-	benchLargeScale(b, 500, radio.IndexGrid, 45*time.Second)
+	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueQuad, 45*time.Second)
 }
 func BenchmarkLargeScale500Brute(b *testing.B) {
-	benchLargeScale(b, 500, radio.IndexBrute, 45*time.Second)
+	benchLargeScale(b, 500, radio.IndexBrute, sim.QueueQuad, 45*time.Second)
 }
 func BenchmarkLargeScale1000Grid(b *testing.B) {
-	benchLargeScale(b, 1000, radio.IndexGrid, 30*time.Second)
+	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueQuad, 30*time.Second)
 }
 func BenchmarkLargeScale1000Brute(b *testing.B) {
-	benchLargeScale(b, 1000, radio.IndexBrute, 30*time.Second)
+	benchLargeScale(b, 1000, radio.IndexBrute, sim.QueueQuad, 30*time.Second)
+}
+
+// The QueueRef variants rerun the grid benchmarks with the
+// container/heap event queue: the gap against the matching Grid
+// benchmark above isolates the event-queue refactor's end-to-end win
+// on bit-identical workloads.
+func BenchmarkLargeScale250GridQueueRef(b *testing.B) {
+	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueRef, 60*time.Second)
+}
+func BenchmarkLargeScale500GridQueueRef(b *testing.B) {
+	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueRef, 45*time.Second)
+}
+func BenchmarkLargeScale1000GridQueueRef(b *testing.B) {
+	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueRef, 30*time.Second)
 }
 
 // BenchmarkLargeScaleDelivery prints the delivery table for the family

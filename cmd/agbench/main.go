@@ -19,19 +19,25 @@
 // duration the 1000-node points take tens of minutes — shrink with
 // -duration and cap the sweep with -large-max for previews. The -index
 // flag switches the radio's neighbour index between the spatial grid
-// and the brute-force scan; results are bit-identical, only wall time
-// changes.
+// and the brute-force scan, and -queue switches the kernel's event
+// queue between the pooled 4-ary heap and the container/heap
+// reference; results are bit-identical either way, only wall time
+// changes. -cpuprofile/-memprofile write pprof profiles for bottleneck
+// hunts (see EXPERIMENTS.md, "Profiling workflow").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
+	"anongossip/internal/sim"
 )
 
 func main() {
@@ -68,7 +74,10 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
 		duration = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
 		index    = fs.String("index", "grid", "radio neighbour index: grid | brute")
+		queue    = fs.String("queue", "quad", "scheduler event queue: quad | ref")
 		largeMax = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +91,42 @@ func run(args []string) error {
 		radioIndex = radio.IndexBrute
 	default:
 		return fmt.Errorf("invalid -index %q (want grid or brute)", *index)
+	}
+
+	var queueKind sim.QueueKind
+	switch *queue {
+	case "quad":
+		queueKind = sim.QueueQuad
+	case "ref":
+		queueKind = sim.QueueRef
+	default:
+		return fmt.Errorf("invalid -queue %q (want quad or ref)", *queue)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "agbench: memprofile:", err)
+			}
+		}()
 	}
 
 	want := map[int]bool{}
@@ -103,6 +148,7 @@ func run(args []string) error {
 
 	base := scenario.DefaultConfig()
 	base.RadioIndex = radioIndex
+	base.EventQueue = queueKind
 	if *duration != base.Duration {
 		// Below ~a minute the paper's warm-up/cool-down proportions are
 		// gone and any table would be noise.

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunQuickFigure(t *testing.T) {
 	if testing.Short() {
@@ -41,8 +45,37 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-index", "octree"}); err == nil {
 		t.Fatal("unknown index kind accepted")
 	}
+	if err := run([]string{"-queue", "fibonacci"}); err == nil {
+		t.Fatal("unknown queue kind accepted")
+	}
 	if err := run([]string{"-fig", "large", "-large-max", "50"}); err == nil {
 		t.Fatal("empty large sweep accepted")
+	}
+}
+
+// TestRunQueueRefAndProfiles covers the -queue selector and the
+// profiling flags on a shrunken sweep: the run must succeed with the
+// reference queue and leave non-empty profile files behind.
+func TestRunQueueRefAndProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-fig", "8", "-seeds", "1", "-duration", "90s",
+		"-queue", "ref", "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }
 

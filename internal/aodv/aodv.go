@@ -98,7 +98,7 @@ type route struct {
 type discovery struct {
 	dst     pkt.NodeID
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
 	queued  []*pkt.Packet
 }
 
@@ -335,9 +335,7 @@ func (r *Router) completeDiscovery(dst pkt.NodeID) {
 		return
 	}
 	delete(r.pending, dst)
-	if d.timer != nil {
-		d.timer.Cancel()
-	}
+	d.timer.Cancel()
 	for _, p := range d.queued {
 		r.stack.Forward(p, false)
 	}

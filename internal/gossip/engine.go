@@ -160,7 +160,7 @@ type groupState struct {
 	lost     *lostTable
 	history  *historyTable
 	cache    *memberCache
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // Engine is one node's AG entity.
@@ -236,9 +236,7 @@ func (e *Engine) Detach(g pkt.GroupID) {
 	if !ok {
 		return
 	}
-	if gs.timer != nil {
-		gs.timer.Cancel()
-	}
+	gs.timer.Cancel()
 	delete(e.groups, g)
 }
 

@@ -171,8 +171,8 @@ type DCF struct {
 	busy bool
 
 	nextSeq  uint16
-	ackTimer *sim.Timer
-	ctsTimer *sim.Timer
+	ackTimer sim.Timer
+	ctsTimer sim.Timer
 	// navUntil is the virtual carrier-sense deadline learned from
 	// overheard RTS/CTS duration fields.
 	navUntil sim.Time
@@ -396,14 +396,10 @@ func (d *DCF) retry(out *outgoing) {
 
 // finish completes the head frame and starts the next.
 func (d *DCF) finish(out *outgoing, ok bool) {
-	if d.ackTimer != nil {
-		d.ackTimer.Cancel()
-		d.ackTimer = nil
-	}
-	if d.ctsTimer != nil {
-		d.ctsTimer.Cancel()
-		d.ctsTimer = nil
-	}
+	d.ackTimer.Cancel()
+	d.ackTimer = sim.Timer{}
+	d.ctsTimer.Cancel()
+	d.ctsTimer = sim.Timer{}
 	d.inflight = nil
 	if d.cb.OnSendDone != nil {
 		d.cb.OnSendDone(out.frm.payload, out.frm.dst, ok)
@@ -438,12 +434,12 @@ func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
 	case frameRTS:
 		d.onRTS(frm)
 	case frameCTS:
-		if frm.dst != d.id || d.inflight == nil || d.ctsTimer == nil {
+		if frm.dst != d.id || d.inflight == nil || d.ctsTimer.IsZero() {
 			return
 		}
 		if frm.seq == d.inflight.frm.seq {
 			d.ctsTimer.Cancel()
-			d.ctsTimer = nil
+			d.ctsTimer = sim.Timer{}
 			out := d.inflight
 			d.sched.After(d.cfg.SIFS, func() {
 				if d.inflight == out {

@@ -159,7 +159,7 @@ type joinState struct {
 	repair   bool
 	prevHops uint8
 	retries  int
-	timer    *sim.Timer
+	timer    sim.Timer
 	best     *candidate
 }
 
@@ -179,7 +179,7 @@ type group struct {
 	next      map[pkt.NodeID]*nextHop
 	rrepPaths map[uint32]rrepPath
 	join      *joinState
-	grphTimer *sim.Timer
+	grphTimer sim.Timer
 	// grphSeen deduplicates GRPH floods per originating leader; a shared
 	// counter would let a rogue high-sequence leader suppress the real
 	// leader's floods during merges.
@@ -347,7 +347,7 @@ func (r *Router) Leave(gid pkt.GroupID) {
 		return
 	}
 	g.member = false
-	if g.join != nil && g.join.timer != nil {
+	if g.join != nil {
 		g.join.timer.Cancel()
 		g.join = nil
 	}

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
 )
 
 // --- MACT handling ---
@@ -172,17 +173,15 @@ func (r *Router) becomeLeader(g *group) {
 	g.groupSeq++
 	g.seqValid = true
 	r.stats.LeaderElections++
-	if g.grphTimer == nil {
+	if g.grphTimer.IsZero() {
 		r.scheduleGRPH(g)
 	}
 	r.nearestRecompute(g)
 }
 
 func (r *Router) stopLeading(g *group) {
-	if g.grphTimer != nil {
-		g.grphTimer.Cancel()
-		g.grphTimer = nil
-	}
+	g.grphTimer.Cancel()
+	g.grphTimer = sim.Timer{}
 }
 
 // delegateLeadership sends MACT(GL) down an arbitrary enabled branch.
@@ -209,7 +208,7 @@ func (r *Router) scheduleGRPH(g *group) {
 	jitter := r.rng.Duration(r.cfg.GroupHelloJitter)
 	g.grphTimer = r.sched.After(r.cfg.GroupHelloInterval+jitter, func() {
 		if !r.isLeader(g) {
-			g.grphTimer = nil
+			g.grphTimer = sim.Timer{}
 			return
 		}
 		g.groupSeq++

@@ -102,7 +102,7 @@ type groupState struct {
 	dataOrder []pkt.SeqKey
 	dataNext  int
 
-	refreshTimer *sim.Timer
+	refreshTimer sim.Timer
 	querySeq     uint32
 	nextDataSeq  uint32
 }
@@ -204,7 +204,7 @@ func (r *Router) SendData(g pkt.GroupID) (pkt.SeqKey, error) {
 	if !gs.member {
 		return pkt.SeqKey{}, ErrNotMember
 	}
-	if gs.refreshTimer == nil {
+	if gs.refreshTimer.IsZero() {
 		r.refresh(g, gs) // on-demand: first data activates the mesh
 	}
 	gs.nextDataSeq++

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"anongossip/internal/radio"
+	"anongossip/internal/sim"
 )
 
 // TestLargeScaleFamilyHoldsDensity checks the family's defining
@@ -78,6 +79,49 @@ func TestLargeScale250GridBruteBitIdentical(t *testing.T) {
 	}
 	if grid.Sent == 0 || grid.Received.Mean == 0 {
 		t.Fatalf("degenerate run: sent %d, mean received %v", grid.Sent, grid.Received.Mean)
+	}
+}
+
+// TestLargeScaleQueueQuadRefBitIdentical is the determinism acceptance
+// test for the event-queue refactor: large-scale runs must produce
+// bit-identical results — every member count, latency, byte counter
+// and the event total — whether the kernel orders events with the
+// pooled 4-ary heap or the container/heap reference. The 250-node pair
+// runs always (short mode trims simulated time, not node count); the
+// 500-node pair is full-mode only.
+func TestLargeScaleQueueQuadRefBitIdentical(t *testing.T) {
+	cases := []struct {
+		nodes    int
+		duration time.Duration
+		seed     int64
+	}{
+		{250, 60 * time.Second, 11},
+		{500, 24 * time.Second, 7},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+		cases[0].duration = 20 * time.Second
+	}
+	for _, tc := range cases {
+		cfg := ShortenedData(LargeScaleConfig(tc.nodes), tc.duration)
+		cfg.Seed = tc.seed
+
+		cfg.EventQueue = sim.QueueQuad
+		quad, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.EventQueue = sim.QueueRef
+		ref, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(quad, ref) {
+			t.Fatalf("%d nodes: quad and ref queue runs diverged:\nquad: %+v\nref:  %+v", tc.nodes, quad, ref)
+		}
+		if quad.Sent == 0 || quad.Received.Mean == 0 {
+			t.Fatalf("%d nodes: degenerate run: sent %d, mean received %v", tc.nodes, quad.Sent, quad.Received.Mean)
+		}
 	}
 }
 

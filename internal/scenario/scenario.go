@@ -89,6 +89,12 @@ type Config struct {
 	// radio.IndexBrute restores the O(N) scan for differential testing.
 	// Both produce bit-identical results for the same seed.
 	RadioIndex radio.IndexKind
+	// EventQueue selects the simulation kernel's event-queue
+	// implementation. The default (sim.QueueQuad) is the pooled 4-ary
+	// heap; sim.QueueRef restores the container/heap reference for
+	// differential testing. Both produce bit-identical results for the
+	// same seed.
+	EventQueue sim.QueueKind
 	// MinSpeed/MaxSpeed bound random-waypoint speeds (m/s).
 	MinSpeed, MaxSpeed float64
 	// MaxPause bounds the waypoint rest period (80 s in the paper).
@@ -189,6 +195,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: non-positive duration %v", c.Duration)
 	case c.DataEnd > c.Duration:
 		return fmt.Errorf("scenario: data window ends at %v after the run ends at %v", c.DataEnd, c.Duration)
+	case c.EventQueue != sim.QueueQuad && c.EventQueue != sim.QueueRef:
+		return fmt.Errorf("scenario: unknown event queue kind %d", int(c.EventQueue))
 	}
 	return nil
 }
@@ -312,7 +320,7 @@ func (t treeAdapter) NextHops(g pkt.GroupID) []gossip.NextHop {
 func (t treeAdapter) IsMember(g pkt.GroupID) bool { return t.r.IsMember(g) }
 
 func build(cfg Config) (*world, error) {
-	w := &world{cfg: cfg, sched: sim.NewScheduler()}
+	w := &world{cfg: cfg, sched: sim.NewSchedulerQueue(cfg.EventQueue)}
 	w.medium = radio.NewMedium(w.sched, radio.Params{Range: cfg.TxRange, Index: cfg.RadioIndex})
 	root := sim.NewRNG(cfg.Seed)
 

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// queuePair drives a QueueQuad scheduler and a QueueRef scheduler with
+// an identical operation stream and checks, after every operation, that
+// the two are indistinguishable: same fire order, same Pending, same
+// clock, same Processed count. This is the scheduler analogue of the
+// radio layer's grid-vs-brute differential tests.
+type queuePair struct {
+	t      testing.TB
+	s      [2]*Scheduler
+	timers [2][]Timer
+	fired  [2][]int
+	nextID int
+}
+
+func newQueuePair(t testing.TB) *queuePair {
+	return &queuePair{t: t, s: [2]*Scheduler{
+		NewSchedulerQueue(QueueQuad),
+		NewSchedulerQueue(QueueRef),
+	}}
+}
+
+func (p *queuePair) push(d Time) {
+	id := p.nextID
+	p.nextID++
+	for k := 0; k < 2; k++ {
+		k := k
+		p.timers[k] = append(p.timers[k], p.s[k].After(d, func() {
+			p.fired[k] = append(p.fired[k], id)
+		}))
+	}
+	p.check("push")
+}
+
+func (p *queuePair) cancel(i int) {
+	if len(p.timers[0]) == 0 {
+		return
+	}
+	i %= len(p.timers[0])
+	p.timers[0][i].Cancel()
+	p.timers[1][i].Cancel()
+	p.check("cancel")
+}
+
+func (p *queuePair) step(max uint64) {
+	n0, d0 := p.s[0].RunAll(max)
+	n1, d1 := p.s[1].RunAll(max)
+	if n0 != n1 || d0 != d1 {
+		p.t.Fatalf("RunAll(%d) diverged: quad (%d,%v) vs ref (%d,%v)", max, n0, d0, n1, d1)
+	}
+	p.check("step")
+}
+
+func (p *queuePair) runTo(d Time) {
+	until := p.s[0].Now() + d
+	n0 := p.s[0].Run(until)
+	n1 := p.s[1].Run(until)
+	if n0 != n1 {
+		p.t.Fatalf("Run(%v) diverged: quad executed %d, ref %d", until, n0, n1)
+	}
+	p.check("run")
+}
+
+func (p *queuePair) check(op string) {
+	a, b := p.s[0], p.s[1]
+	if a.Pending() != b.Pending() {
+		p.t.Fatalf("after %s: Pending diverged: quad %d, ref %d", op, a.Pending(), b.Pending())
+	}
+	if a.Now() != b.Now() {
+		p.t.Fatalf("after %s: clocks diverged: quad %v, ref %v", op, a.Now(), b.Now())
+	}
+	if a.Processed() != b.Processed() {
+		p.t.Fatalf("after %s: Processed diverged: quad %d, ref %d", op, a.Processed(), b.Processed())
+	}
+	if len(p.fired[0]) != len(p.fired[1]) {
+		p.t.Fatalf("after %s: fired %d events on quad, %d on ref", op, len(p.fired[0]), len(p.fired[1]))
+	}
+	for i := range p.fired[0] {
+		if p.fired[0][i] != p.fired[1][i] {
+			p.t.Fatalf("after %s: fire order diverged at %d: quad %v, ref %v",
+				op, i, p.fired[0], p.fired[1])
+		}
+	}
+}
+
+// runQueueScript interprets a byte string as a push/pop/cancel/run
+// workload over the differential pair, then drains both schedulers and
+// re-checks. Shared by the property test and the fuzz target.
+func runQueueScript(t testing.TB, script []byte) {
+	p := newQueuePair(t)
+	i := 0
+	next := func() byte {
+		if i >= len(script) {
+			return 0
+		}
+		b := script[i]
+		i++
+		return b
+	}
+	for i < len(script) {
+		switch next() % 6 {
+		case 0, 1:
+			p.push(Time(next()%64) * time.Millisecond)
+		case 2:
+			// Same-instant burst: insertion order must break the tie.
+			d := Time(next()%16) * time.Millisecond
+			p.push(d)
+			p.push(d)
+			p.push(d)
+		case 3:
+			p.cancel(int(next()))
+		case 4:
+			p.step(uint64(next() % 8))
+		case 5:
+			p.runTo(Time(next()%128) * time.Millisecond)
+		}
+	}
+	p.step(1 << 40) // drain
+	if got := p.s[0].Pending(); got != 0 {
+		t.Fatalf("drain left %d pending events", got)
+	}
+}
+
+// TestQueueDifferentialRandomScripts fuzzes the two queue
+// implementations against each other with seeded random workloads —
+// the property half of the fuzz/differential story; FuzzQueueDifferential
+// lets the fuzzer search for adversarial scripts.
+func TestQueueDifferentialRandomScripts(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < iters; iter++ {
+		script := make([]byte, rng.Intn(400))
+		rng.Read(script)
+		runQueueScript(t, script)
+	}
+}
+
+// TestQueueDifferentialCompactionHeavy forces the cancellation count
+// across the compaction threshold on both implementations and checks
+// the survivors still fire identically.
+func TestQueueDifferentialCompactionHeavy(t *testing.T) {
+	p := newQueuePair(t)
+	for i := 0; i < 1000; i++ {
+		p.push(Time(i%13) * time.Millisecond)
+	}
+	for i := 0; i < 1000; i++ {
+		if i%5 != 0 {
+			p.cancel(i)
+		}
+	}
+	if got := p.s[0].q.len(); got >= 1000 {
+		t.Fatalf("compaction never ran: quad queue still holds %d entries", got)
+	}
+	p.step(1 << 40)
+	if got := len(p.fired[0]); got != 200 {
+		t.Fatalf("fired %d events, want the 200 survivors", got)
+	}
+}
+
+// FuzzQueueDifferential lets the fuzzer hunt for operation sequences
+// that make the 4-ary pooled queue and the container/heap reference
+// disagree. `go test` runs the seed corpus; `go test -fuzz
+// FuzzQueueDifferential ./internal/sim` explores.
+func FuzzQueueDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 10, 4, 2, 3, 1, 5, 50})
+	f.Add([]byte{2, 0, 2, 0, 2, 0, 4, 7, 3, 0, 3, 1, 5, 127})
+	seed := make([]byte, 256)
+	rand.New(rand.NewSource(7)).Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 2048 {
+			script = script[:2048]
+		}
+		runQueueScript(t, script)
+	})
+}

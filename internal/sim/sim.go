@@ -7,11 +7,17 @@
 // from a single seed through named sub-streams (see RNG). Two runs with the
 // same configuration and seed produce bit-identical schedules, which makes
 // every experiment in EXPERIMENTS.md replayable.
+//
+// Timers live in a generation-stamped pool inside the Scheduler: After/At
+// allocate nothing per event, Timer handles are small copyable values, and
+// fired or cancelled slots are recycled through a free list. The pending
+// set is ordered by a pluggable event queue (see QueueKind) — an implicit
+// 4-ary min-heap by default, with the original container/heap binary heap
+// retained as a differential-testing reference.
 package sim
 
 import (
-	"container/heap"
-	"fmt"
+	"math"
 	"time"
 )
 
@@ -20,93 +26,145 @@ import (
 // formatting idiomatic while staying on an int64 nanosecond base.
 type Time = time.Duration
 
-// Timer is a handle for a scheduled event. It can be cancelled before it
-// fires; cancellation after firing is a no-op.
-type Timer struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	sched     *Scheduler
-	cancelled bool
-	fired     bool
+// slotState tracks a pool slot through one timer lifecycle.
+type slotState uint8
+
+const (
+	// slotPending: scheduled, queue entry outstanding.
+	slotPending slotState = iota
+	// slotCancelled: Cancel ran; the queue entry may still be riding
+	// in the heap until it is popped or compacted away.
+	slotCancelled
+	// slotFired: the callback ran; the slot is on the free list.
+	slotFired
+)
+
+// slot is one pooled timer. The callback is released (set to nil) as
+// soon as the timer fires or is cancelled, so completed timers pin
+// neither their captured closures nor anything those closures reach,
+// even while protocol structs keep stale handles around.
+type slot struct {
+	fn func()
+	at Time
+	// gen is 64-bit so it cannot wrap within any feasible run: a
+	// wrapped stamp would let an ancient stale handle alias the slot's
+	// live occupant.
+	gen   uint64
+	state slotState
 }
 
-// At reports the simulation time the timer is scheduled to fire.
-func (t *Timer) At() Time { return t.at }
+// Timer is a handle for a scheduled event: a pool index plus the
+// generation stamp it was issued under. It is a small value — copy it
+// freely; the zero Timer is valid and behaves as a long-completed
+// timer (Cancel is a no-op, Done reports true, IsZero reports true).
+//
+// Once a timer completes (fires or is cancelled), its pool slot is
+// eventually recycled for a new timer and the slot's generation
+// advances, so stale handles can never affect their slot's new
+// occupant. State queries on a handle whose slot has been recycled
+// conservatively report Fired() == false and Cancelled() == false;
+// Done() remains exact and is the query to use for "finished either
+// way".
+type Timer struct {
+	s    *Scheduler
+	slot int32
+	gen  uint64
+}
 
-// Cancel prevents the timer from firing. It is safe to call more than once
-// and safe to call after the timer has fired. Cancelled timers do not
-// linger until their deadline: the scheduler compacts its queue once
-// they outnumber the live entries, so long runs with many cancelled
-// MAC/route timers don't bloat the heap.
-func (t *Timer) Cancel() {
-	if t.cancelled || t.fired {
+// IsZero reports whether the handle is the zero Timer, i.e. was never
+// returned by After/At.
+func (t Timer) IsZero() bool { return t.s == nil }
+
+// lookup resolves the handle to its pool slot. ok is false for zero
+// handles and for handles whose slot has been recycled (generation
+// mismatch).
+func (t Timer) lookup() (*slot, bool) {
+	if t.s == nil {
+		return nil, false
+	}
+	sl := &t.s.pool[t.slot]
+	return sl, sl.gen == t.gen
+}
+
+// At reports the simulation time the timer is scheduled to fire, or
+// fired at. It returns 0 once the slot has been recycled.
+func (t Timer) At() Time {
+	if sl, ok := t.lookup(); ok {
+		return sl.at
+	}
+	return 0
+}
+
+// Cancel prevents the timer from firing. It is safe to call more than
+// once, after the timer has fired, and on the zero Timer. Cancelled
+// timers do not linger until their deadline: the scheduler compacts
+// its queue once they outnumber the live entries, so long runs with
+// many cancelled MAC/route timers don't bloat the heap.
+func (t Timer) Cancel() {
+	sl, ok := t.lookup()
+	if !ok || sl.state != slotPending {
 		return
 	}
-	t.cancelled = true
-	t.fn = nil // release captured state promptly
-	if t.sched != nil {
-		t.sched.noteCancelled()
-	}
+	sl.state = slotCancelled
+	sl.fn = nil // release captured state promptly
+	t.s.noteCancelled()
 }
 
-// Cancelled reports whether Cancel was called before the timer fired;
-// cancelling after firing is a no-op and leaves this false.
-func (t *Timer) Cancelled() bool { return t.cancelled }
-
-// Fired reports whether the timer's callback has run.
-func (t *Timer) Fired() bool { return t.fired }
-
-// eventHeap orders timers by (at, seq); seq breaks ties so that events
-// scheduled for the same instant fire in insertion order.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Cancelled reports whether Cancel stopped the timer before it fired.
+// Exact until the slot is recycled (see the Timer doc).
+func (t Timer) Cancelled() bool {
+	sl, ok := t.lookup()
+	return ok && sl.state == slotCancelled
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	t, ok := x.(*Timer)
-	if !ok {
-		panic(fmt.Sprintf("sim: eventHeap.Push got %T, want *Timer", x))
-	}
-	*h = append(*h, t)
+// Fired reports whether the timer's callback has run. Exact until the
+// slot is recycled (see the Timer doc).
+func (t Timer) Fired() bool {
+	sl, ok := t.lookup()
+	return ok && sl.state == slotFired
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+// Done reports whether the timer has completed — fired or cancelled.
+// Unlike Fired and Cancelled it stays exact after the slot is
+// recycled: recycling is only possible once the timer completed. The
+// zero Timer reports true, consistent with behaving as a
+// long-completed timer.
+func (t Timer) Done() bool {
+	if t.s == nil {
+		return true
+	}
+	sl, ok := t.lookup()
+	return !ok || sl.state != slotPending
 }
 
 // Scheduler is the event loop. The zero value is not usable; construct with
-// NewScheduler.
+// NewScheduler or NewSchedulerQueue.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	q       eventQueue
+	pool    []slot
+	free    []int32
 	stopped bool
 
 	// processed counts events executed so far (cancelled events excluded).
 	processed uint64
-	// cancelled counts timers in the heap whose Cancel ran; Pending
+	// cancelled counts slots in the queue whose Cancel ran; Pending
 	// subtracts it and compact drops them.
 	cancelled int
 }
 
-// NewScheduler returns a scheduler positioned at time zero.
+// NewScheduler returns a scheduler positioned at time zero, using the
+// default event queue (QueueQuad).
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return NewSchedulerQueue(QueueQuad)
+}
+
+// NewSchedulerQueue returns a scheduler positioned at time zero, with
+// the chosen event-queue implementation. All kinds execute identical
+// schedules; see QueueKind.
+func NewSchedulerQueue(kind QueueKind) *Scheduler {
+	return &Scheduler{q: newEventQueue(kind)}
 }
 
 // Now returns the current simulation time.
@@ -117,61 +175,88 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // Pending returns the number of live (non-cancelled) events currently
 // scheduled.
-func (s *Scheduler) Pending() int { return len(s.events) - s.cancelled }
+func (s *Scheduler) Pending() int { return s.q.len() - s.cancelled }
 
 // noteCancelled records one cancelled-but-queued timer and compacts the
-// heap when cancelled entries outnumber live ones. The 64-entry floor
+// queue when cancelled entries outnumber live ones. The 64-entry floor
 // keeps tiny queues from compacting constantly; the one-half ratio
-// bounds the heap at twice the live count, making the amortised cost of
+// bounds the queue at twice the live count, making the amortised cost of
 // each cancellation O(1) heap work.
 func (s *Scheduler) noteCancelled() {
 	s.cancelled++
-	if s.cancelled >= 64 && s.cancelled > len(s.events)/2 {
+	if s.cancelled >= 64 && s.cancelled > s.q.len()/2 {
 		s.compact()
 	}
 }
 
-// compact rebuilds the heap without its cancelled entries. Ordering is
-// unaffected: the surviving timers keep their (at, seq) keys, so runs
-// with and without compaction execute identically.
+// compact rebuilds the queue without its cancelled entries, releasing
+// their slots to the free list. Ordering is unaffected: the surviving
+// entries keep their (at, seq) keys, so runs with and without
+// compaction execute identically.
 func (s *Scheduler) compact() {
-	live := s.events[:0]
-	for _, t := range s.events {
-		if !t.cancelled {
-			live = append(live, t)
+	s.q.compact(func(idx int32) bool {
+		if s.pool[idx].state == slotCancelled {
+			s.free = append(s.free, idx)
+			return false
 		}
-	}
-	for i := len(live); i < len(s.events); i++ {
-		s.events[i] = nil
-	}
-	s.events = live
+		return true
+	})
 	s.cancelled = 0
-	heap.Init(&s.events)
 }
 
 // After schedules fn to run d after the current time and returns a handle
 // that can cancel it. A negative d is treated as zero: the event fires at
-// the current time, after already-queued events for that instant.
-func (s *Scheduler) After(d Time, fn func()) *Timer {
+// the current time, after already-queued events for that instant. A d so
+// large that now+d overflows saturates to the maximum representable time
+// — the event is effectively never reached — instead of wrapping
+// negative and firing immediately.
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	t := s.now + d
+	if t < s.now { // overflow: saturate, don't wrap into the past
+		t = Time(math.MaxInt64)
+	}
+	return s.At(t, fn)
 }
 
 // At schedules fn to run at absolute simulation time t. Times in the past
 // are clamped to the present.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if t < s.now {
 		t = s.now
 	}
-	timer := &Timer{at: t, seq: s.seq, fn: fn, sched: s}
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+		sl := &s.pool[idx]
+		sl.gen++ // invalidate handles from the previous lifecycle
+		sl.fn, sl.at, sl.state = fn, t, slotPending
+	} else {
+		idx = int32(len(s.pool))
+		s.pool = append(s.pool, slot{fn: fn, at: t, state: slotPending})
+	}
+	s.q.push(event{at: t, seq: s.seq, slot: idx})
 	s.seq++
-	heap.Push(&s.events, timer)
-	return timer
+	return Timer{s: s, slot: idx, gen: s.pool[idx].gen}
+}
+
+// fire pops the given entry's slot into the fired state, releases the
+// callback and the slot, and returns the callback to run. The slot is
+// recycled before the callback executes, so a callback that schedules
+// a new timer may reuse it immediately.
+func (s *Scheduler) fire(e event) func() {
+	sl := &s.pool[e.slot]
+	fn := sl.fn
+	sl.fn = nil // release the closure the moment it is claimed
+	sl.state = slotFired
+	s.free = append(s.free, e.slot)
+	return fn
 }
 
 // Stop makes Run return after the event currently executing completes.
@@ -184,19 +269,18 @@ func (s *Scheduler) Stop() { s.stopped = true }
 func (s *Scheduler) Run(until Time) uint64 {
 	var n uint64
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > until {
+	for s.q.len() > 0 && !s.stopped {
+		if s.q.peek().at > until {
 			break
 		}
-		heap.Pop(&s.events)
-		if next.cancelled {
+		e := s.q.pop()
+		if s.pool[e.slot].state == slotCancelled {
 			s.cancelled--
+			s.free = append(s.free, e.slot)
 			continue
 		}
-		s.now = next.at
-		next.fired = true
-		next.fn()
+		s.now = e.at
+		s.fire(e)()
 		s.processed++
 		n++
 	}
@@ -212,18 +296,17 @@ func (s *Scheduler) Run(until Time) uint64 {
 func (s *Scheduler) RunAll(maxEvents uint64) (uint64, bool) {
 	var n uint64
 	s.stopped = false
-	for len(s.events) > 0 && n < maxEvents && !s.stopped {
-		next := s.events[0]
-		heap.Pop(&s.events)
-		if next.cancelled {
+	for s.q.len() > 0 && n < maxEvents && !s.stopped {
+		e := s.q.pop()
+		if s.pool[e.slot].state == slotCancelled {
 			s.cancelled--
+			s.free = append(s.free, e.slot)
 			continue
 		}
-		s.now = next.at
-		next.fired = true
-		next.fn()
+		s.now = e.at
+		s.fire(e)()
 		s.processed++
 		n++
 	}
-	return n, len(s.events) == 0
+	return n, s.q.len() == 0
 }

@@ -1,43 +1,57 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
 )
 
-func TestSchedulerRunsInTimeOrder(t *testing.T) {
-	s := NewScheduler()
-	var got []Time
-	for _, d := range []Time{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second} {
-		d := d
-		s.After(d, func() { got = append(got, s.Now()) })
-	}
-	s.Run(10 * time.Second)
-	want := []Time{time.Second, 2 * time.Second, 3 * time.Second, 5 * time.Second}
-	if len(got) != len(want) {
-		t.Fatalf("executed %d events, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
-		}
+// forEachQueueKind runs a subtest against every queue implementation;
+// the ordering and compaction contracts must hold for all of them.
+func forEachQueueKind(t *testing.T, f func(t *testing.T, kind QueueKind)) {
+	for _, kind := range []QueueKind{QueueQuad, QueueRef} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) { f(t, kind) })
 	}
 }
 
-func TestSchedulerSameInstantFIFO(t *testing.T) {
-	s := NewScheduler()
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		s.At(time.Second, func() { order = append(order, i) })
-	}
-	s.Run(time.Second)
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("same-instant events fired out of insertion order: %v", order)
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	forEachQueueKind(t, func(t *testing.T, kind QueueKind) {
+		s := NewSchedulerQueue(kind)
+		var got []Time
+		for _, d := range []Time{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second} {
+			d := d
+			s.After(d, func() { got = append(got, s.Now()) })
 		}
-	}
+		s.Run(10 * time.Second)
+		want := []Time{time.Second, 2 * time.Second, 3 * time.Second, 5 * time.Second}
+		if len(got) != len(want) {
+			t.Fatalf("executed %d events, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	forEachQueueKind(t, func(t *testing.T, kind QueueKind) {
+		s := NewSchedulerQueue(kind)
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.At(time.Second, func() { order = append(order, i) })
+		}
+		s.Run(time.Second)
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("same-instant events fired out of insertion order: %v", order)
+			}
+		}
+	})
 }
 
 func TestSchedulerRunHorizon(t *testing.T) {
@@ -102,6 +116,83 @@ func TestScheduleFromWithinEvent(t *testing.T) {
 	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
 		t.Fatalf("nested scheduling fired at %v, want [1s 2s]", at)
 	}
+}
+
+// TestAfterOverflowSaturates is the regression test for the now+d
+// wraparound: before the fix, a huge delay wrapped negative, was
+// clamped to now, and fired immediately. It must saturate to the
+// maximum representable time instead — scheduled, never reached.
+func TestAfterOverflowSaturates(t *testing.T) {
+	s := NewScheduler()
+	s.Run(time.Second) // advance the clock so now+MaxInt64 overflows
+	fired := false
+	tm := s.After(Time(math.MaxInt64), func() { fired = true })
+	if tm.At() != Time(math.MaxInt64) {
+		t.Fatalf("overflowing After scheduled at %v, want saturation at MaxInt64", tm.At())
+	}
+	s.Run(100 * 365 * 24 * time.Hour)
+	if fired {
+		t.Fatal("overflowing After fired instead of saturating")
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want the saturated event still queued", got)
+	}
+}
+
+// TestFiredTimerReleasesState checks the pool recycles fired slots and
+// drops their callbacks: a fired timer must not pin its closure, and
+// the next After must reuse the slot rather than grow the pool.
+func TestFiredTimerReleasesState(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(time.Second, func() {})
+	s.Run(2 * time.Second)
+	if got := s.pool[a.slot].fn; got != nil {
+		t.Fatal("fired timer still holds its callback")
+	}
+	if !a.Fired() || !a.Done() {
+		t.Fatalf("Fired=%v Done=%v after firing, want true,true", a.Fired(), a.Done())
+	}
+	b := s.After(time.Second, func() {})
+	if len(s.pool) != 1 {
+		t.Fatalf("pool grew to %d slots, want the fired slot reused", len(s.pool))
+	}
+	if b.slot != a.slot || b.gen == a.gen {
+		t.Fatalf("reuse did not advance the generation: a=%+v b=%+v", a, b)
+	}
+}
+
+// TestStaleHandleCannotTouchNewOccupant: once a slot is recycled, the
+// old handle's Cancel must be a no-op against the slot's new timer.
+func TestStaleHandleCannotTouchNewOccupant(t *testing.T) {
+	s := NewScheduler()
+	a := s.After(time.Second, func() {})
+	s.Run(2 * time.Second)
+	fired := false
+	s.After(time.Second, func() { fired = true }) // reuses a's slot
+	a.Cancel()                                    // stale: must not cancel b
+	if a.Fired() || a.Cancelled() {
+		t.Fatalf("stale handle reports Fired=%v Cancelled=%v, want conservative false,false", a.Fired(), a.Cancelled())
+	}
+	if !a.Done() {
+		t.Fatal("stale handle must still report Done")
+	}
+	s.Run(5 * time.Second)
+	if !fired {
+		t.Fatal("stale Cancel reached the slot's new occupant")
+	}
+}
+
+// TestZeroTimerIsInert: the zero Timer must be safe to query and
+// cancel (protocol structs use it as "no timer scheduled").
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if !tm.IsZero() || tm.Fired() || tm.Cancelled() || tm.At() != 0 {
+		t.Fatalf("zero Timer not inert: %+v", tm)
+	}
+	if !tm.Done() {
+		t.Fatal("zero Timer must behave as long-completed: Done() = false")
+	}
+	tm.Cancel() // must not panic
 }
 
 func TestSchedulePastClampsToNow(t *testing.T) {
@@ -203,7 +294,7 @@ func TestSchedulerOrderingProperty(t *testing.T) {
 func TestSchedulerCancelAccountingProperty(t *testing.T) {
 	f := func(delaysMS []uint16, cancelMask []bool) bool {
 		s := NewScheduler()
-		timers := make([]*Timer, 0, len(delaysMS))
+		timers := make([]Timer, 0, len(delaysMS))
 		for _, d := range delaysMS {
 			timers = append(timers, s.After(Time(d)*time.Millisecond, func() {}))
 		}
@@ -225,7 +316,7 @@ func TestSchedulerCancelAccountingProperty(t *testing.T) {
 
 func TestPendingExcludesCancelled(t *testing.T) {
 	s := NewScheduler()
-	timers := make([]*Timer, 10)
+	timers := make([]Timer, 10)
 	for i := range timers {
 		timers[i] = s.After(time.Second, func() {})
 	}
@@ -253,22 +344,28 @@ func TestPendingExcludesCancelled(t *testing.T) {
 // of letting them ride in the heap (the pre-fix behaviour, where a long run
 // with many cancelled MAC/route timers grew the queue without bound).
 func TestCancelCompactsHeap(t *testing.T) {
-	s := NewScheduler()
-	const n = 10000
-	timers := make([]*Timer, n)
-	for i := range timers {
-		timers[i] = s.After(time.Hour, func() {})
-	}
-	for _, tm := range timers {
-		tm.Cancel()
-	}
-	if got := s.Pending(); got != 0 {
-		t.Fatalf("Pending after cancelling all = %d, want 0", got)
-	}
-	// The heap itself must have been compacted, not just the count.
-	if got := len(s.events); got >= n/2 {
-		t.Fatalf("heap holds %d entries after cancelling all %d, want compaction", got, n)
-	}
+	forEachQueueKind(t, func(t *testing.T, kind QueueKind) {
+		s := NewSchedulerQueue(kind)
+		const n = 10000
+		timers := make([]Timer, n)
+		for i := range timers {
+			timers[i] = s.After(time.Hour, func() {})
+		}
+		for _, tm := range timers {
+			tm.Cancel()
+		}
+		if got := s.Pending(); got != 0 {
+			t.Fatalf("Pending after cancelling all = %d, want 0", got)
+		}
+		// The heap itself must have been compacted, not just the count.
+		if got := s.q.len(); got >= n/2 {
+			t.Fatalf("heap holds %d entries after cancelling all %d, want compaction", got, n)
+		}
+		// Compaction must have released the dead slots for reuse.
+		if live := len(s.pool) - len(s.free); live != s.q.len() {
+			t.Fatalf("%d slots outside the free list, want %d (queue residue)", live, s.q.len())
+		}
+	})
 }
 
 // TestCompactionPreservesOrdering drains a mixed live/cancelled schedule
@@ -277,45 +374,47 @@ func TestCancelCompactsHeap(t *testing.T) {
 // guarantees the cancelled count crosses the one-half compaction
 // threshold while survivors remain to witness the ordering.
 func TestCompactionPreservesOrdering(t *testing.T) {
-	s := NewScheduler()
-	var got []int
-	var cancel []*Timer
-	want := make([]int, 0, 500)
-	for i := 0; i < 500; i++ {
-		i := i
-		d := Time(i%7) * time.Second
-		tm := s.After(d, func() { got = append(got, i) })
-		if i%3 != 0 {
-			cancel = append(cancel, tm)
-		} else {
-			want = append(want, i)
+	forEachQueueKind(t, func(t *testing.T, kind QueueKind) {
+		s := NewSchedulerQueue(kind)
+		var got []int
+		var cancel []Timer
+		want := make([]int, 0, 500)
+		for i := 0; i < 500; i++ {
+			i := i
+			d := Time(i%7) * time.Second
+			tm := s.After(d, func() { got = append(got, i) })
+			if i%3 != 0 {
+				cancel = append(cancel, tm)
+			} else {
+				want = append(want, i)
+			}
 		}
-	}
-	before := len(s.events)
-	for _, tm := range cancel {
-		tm.Cancel()
-	}
-	if len(s.events) >= before {
-		t.Fatalf("heap did not compact: %d entries before, %d after cancelling %d", before, len(s.events), len(cancel))
-	}
-	s.Run(10 * time.Second)
-	if len(got) != len(want) {
-		t.Fatalf("executed %d events, want %d", len(got), len(want))
-	}
-	// Reconstruct the expected order: stable by (delay, insertion index).
-	byTime := map[int][]int{}
-	for _, i := range want {
-		byTime[i%7] = append(byTime[i%7], i)
-	}
-	var expect []int
-	for d := 0; d < 7; d++ {
-		expect = append(expect, byTime[d]...)
-	}
-	for k := range expect {
-		if got[k] != expect[k] {
-			t.Fatalf("event %d fired as %d, want %d (compaction broke ordering)", k, got[k], expect[k])
+		before := s.q.len()
+		for _, tm := range cancel {
+			tm.Cancel()
 		}
-	}
+		if s.q.len() >= before {
+			t.Fatalf("heap did not compact: %d entries before, %d after cancelling %d", before, s.q.len(), len(cancel))
+		}
+		s.Run(10 * time.Second)
+		if len(got) != len(want) {
+			t.Fatalf("executed %d events, want %d", len(got), len(want))
+		}
+		// Reconstruct the expected order: stable by (delay, insertion index).
+		byTime := map[int][]int{}
+		for _, i := range want {
+			byTime[i%7] = append(byTime[i%7], i)
+		}
+		var expect []int
+		for d := 0; d < 7; d++ {
+			expect = append(expect, byTime[d]...)
+		}
+		for k := range expect {
+			if got[k] != expect[k] {
+				t.Fatalf("event %d fired as %d, want %d (compaction broke ordering)", k, got[k], expect[k])
+			}
+		}
+	})
 }
 
 func TestRNGDeterminism(t *testing.T) {
