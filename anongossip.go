@@ -24,8 +24,22 @@
 //	fmt.Printf("delivery %.1f%%, goodput %.1f%%\n",
 //		100*res.DeliveryRatio(), res.MeanGoodput())
 //
-// Switch cfg.Protocol to ProtocolMAODV for the bare-multicast baseline
-// the paper compares against, or ProtocolFlood for the related-work
+// # Composing stacks
+//
+// The protocol stack under test is composed from two axes — a multicast
+// routing protocol and an optional loss-recovery layer — resolved
+// through a registry (Stacks lists what is available):
+//
+//	cfg.Stack = anongossip.StackSpec{Routing: "flood", Recovery: "gossip"}
+//
+// or by name, including the legacy spellings:
+//
+//	cfg.Stack, err = anongossip.StackByName("odmrp+gossip")
+//
+// The legacy Protocol constants (ProtocolMAODV, ProtocolGossip, ...)
+// remain as thin aliases that resolve through the same registry; switch
+// cfg.Protocol to ProtocolMAODV for the bare-multicast baseline the
+// paper compares against, or ProtocolFlood for the related-work
 // flooding baseline.
 package anongossip
 
@@ -36,10 +50,29 @@ import (
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 	"anongossip/internal/sim"
+	"anongossip/internal/stack"
 )
 
 // Protocol selects the multicast stack under test.
 type Protocol = scenario.Protocol
+
+// StackSpec composes a protocol stack from the two registry axes: a
+// routing protocol ("maodv", "odmrp", "flood") and an optional recovery
+// layer ("gossip"). Assign one to Config.Stack; it takes precedence
+// over the legacy Config.Protocol field.
+type StackSpec = stack.Spec
+
+// Stacks lists every registered protocol stack (the cross product of
+// the routing and recovery axes) in deterministic order.
+func Stacks() []StackSpec { return stack.Stacks() }
+
+// StackNames lists the canonical name of every registered stack.
+func StackNames() []string { return stack.Names() }
+
+// StackByName resolves a stack name — canonical ("flood+gossip") or a
+// legacy alias ("gossip", "odmrp-gossip") — against the registry. The
+// error of an unknown name lists every registered stack.
+func StackByName(name string) (StackSpec, error) { return stack.ByName(name) }
 
 // Protocols under test (the paper's two curves plus the flooding
 // baseline from its related work).

@@ -69,3 +69,32 @@ func TestSeeds(t *testing.T) {
 		t.Fatalf("Seeds(3) = %v", s)
 	}
 }
+
+func TestFacadeStackRegistry(t *testing.T) {
+	stacks := anongossip.Stacks()
+	if len(stacks) != 6 {
+		t.Fatalf("registered stacks = %v, want 6", stacks)
+	}
+	names := anongossip.StackNames()
+	if len(names) != len(stacks) {
+		t.Fatalf("StackNames %v disagrees with Stacks %v", names, stacks)
+	}
+
+	spec, err := anongossip.StackByName("flood+gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Stack = spec
+	res, err := anongossip.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stack.String() != "flood+gossip" {
+		t.Fatalf("result ran stack %v, want flood+gossip", res.Stack)
+	}
+
+	if _, err := anongossip.StackByName("smoke-signals"); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+}

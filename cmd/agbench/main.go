@@ -24,6 +24,12 @@
 // reference; results are bit-identical either way, only wall time
 // changes. -cpuprofile/-memprofile write pprof profiles for bottleneck
 // hunts (see EXPERIMENTS.md, "Profiling workflow").
+//
+// The -protocol flag picks the stack under test by registry name (e.g.
+// -protocol flood+gossip); its bare routing protocol becomes the
+// comparison baseline, so the tables generalise the paper's
+// Gossip-vs-Maodv pairing to any registered stack. -help lists the
+// registered stacks.
 package main
 
 import (
@@ -33,11 +39,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 	"anongossip/internal/sim"
+	"anongossip/internal/stack"
 )
 
 func main() {
@@ -69,7 +77,10 @@ func figures() []figure {
 func run(args []string) error {
 	fs := flag.NewFlagSet("agbench", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate: 2..8, large, or all")
+		fig   = fs.String("fig", "all", "figure to regenerate: 2..8, large, or all")
+		proto = fs.String("protocol", "maodv+gossip",
+			"stack under test by registry name ("+strings.Join(stack.Names(), " | ")+
+				"); its bare routing is the comparison baseline")
 		seeds    = fs.Int("seeds", 3, "seeds per point (paper: 10)")
 		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
 		duration = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
@@ -82,6 +93,18 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	treatment, err := stack.ByName(*proto)
+	if err != nil {
+		return err
+	}
+	if treatment.Recovery == "" {
+		return fmt.Errorf("-protocol %q has no recovery layer to measure; pick a composed stack (e.g. %s+gossip)",
+			*proto, treatment.Routing)
+	}
+	baseline := stack.Spec{Routing: treatment.Routing}
+	treatCol := fmt.Sprintf("%v mean [min,max] (std)", treatment)
+	baseCol := fmt.Sprintf("%v mean [min,max] (std)", baseline)
 
 	var radioIndex radio.IndexKind
 	switch *index {
@@ -147,6 +170,7 @@ func run(args []string) error {
 	}
 
 	base := scenario.DefaultConfig()
+	base.Stack = treatment // Fig. 8 goodput follows the stack under test
 	base.RadioIndex = radioIndex
 	base.EventQueue = queueKind
 	if *duration != base.Duration {
@@ -166,9 +190,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("=== Figure %d: %s ===\n", f.id, f.title)
 		fmt.Printf("(%d seeds, %d packets sent per run)\n", len(seedList), base.ExpectedPackets())
-		fmt.Printf("%-10s | %28s | %28s\n", f.xName,
-			"Gossip mean [min,max] (std)", "Maodv mean [min,max] (std)")
-		rows, err := scenario.RunComparison(base, f.xs, f.apply, seedList, *parallel, nil)
+		fmt.Printf("%-10s | %28s | %28s\n", f.xName, treatCol, baseCol)
+		rows, err := scenario.RunComparisonStacks(base, f.xs, f.apply, seedList, *parallel, nil,
+			treatment, baseline)
 		if err != nil {
 			return err
 		}
@@ -193,9 +217,9 @@ func run(args []string) error {
 		}
 		fmt.Println("=== Large scale: Packet Delivery vs Number of Nodes (constant density, 75 m range) ===")
 		fmt.Printf("(%d seeds, %d packets sent per run, %s index)\n", len(seedList), base.ExpectedPackets(), *index)
-		fmt.Printf("%-10s | %28s | %28s\n", "nodes",
-			"Gossip mean [min,max] (std)", "Maodv mean [min,max] (std)")
-		rows, err := scenario.RunComparison(base, xs, scenario.ApplyLargeScale, seedList, *parallel, nil)
+		fmt.Printf("%-10s | %28s | %28s\n", "nodes", treatCol, baseCol)
+		rows, err := scenario.RunComparisonStacks(base, xs, scenario.ApplyLargeScale, seedList, *parallel, nil,
+			treatment, baseline)
 		if err != nil {
 			return err
 		}

@@ -29,6 +29,18 @@ func TestRunQuickLargeScale(t *testing.T) {
 	}
 }
 
+// TestRunStackProtocolFlag drives the registry-name -protocol flag: a
+// composed stack is measured against its bare routing baseline.
+func TestRunStackProtocolFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{"-fig", "8", "-seeds", "1", "-duration", "90s", "-protocol", "flood+gossip"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-fig", "1"}); err == nil {
 		t.Fatal("figure 1 accepted (paper has no such experiment)")
@@ -50,6 +62,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "large", "-large-max", "50"}); err == nil {
 		t.Fatal("empty large sweep accepted")
+	}
+	if err := run([]string{"-protocol", "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+	if err := run([]string{"-protocol", "maodv"}); err == nil {
+		t.Fatal("recovery-less stack accepted as treatment")
 	}
 }
 

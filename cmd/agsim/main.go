@@ -8,7 +8,11 @@
 // Examples:
 //
 //	agsim -protocol gossip -nodes 40 -range 75 -speed 0.2 -seed 1
-//	agsim -protocol maodv -range 55 -duration 600s -verbose
+//	agsim -protocol flood+gossip -range 55 -duration 600s -verbose
+//
+// The -protocol flag accepts any stack registered with the protocol
+// registry ("maodv", "maodv+gossip", "flood+gossip", ...) plus the
+// legacy spellings ("gossip", "odmrp-gossip"); -help lists them.
 package main
 
 import (
@@ -16,11 +20,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"anongossip"
 	"anongossip/internal/pkt"
-	"anongossip/internal/scenario"
 )
 
 func main() {
@@ -33,7 +37,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("agsim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "gossip", "protocol: gossip | maodv | flood | odmrp | odmrp-gossip")
+		protocol = fs.String("protocol", "gossip",
+			"protocol stack by registry name: "+strings.Join(anongossip.StackNames(), " | ")+
+				" (legacy aliases: gossip = maodv+gossip, odmrp-gossip = odmrp+gossip)")
 		nodes    = fs.Int("nodes", 40, "total node count")
 		members  = fs.Float64("members", 1.0/3.0, "fraction of nodes in the group")
 		txRange  = fs.Float64("range", 75, "transmission range (m)")
@@ -51,20 +57,11 @@ func run(args []string) error {
 	}
 
 	cfg := anongossip.DefaultConfig()
-	switch *protocol {
-	case "gossip":
-		cfg.Protocol = anongossip.ProtocolGossip
-	case "maodv":
-		cfg.Protocol = anongossip.ProtocolMAODV
-	case "flood":
-		cfg.Protocol = anongossip.ProtocolFlood
-	case "odmrp":
-		cfg.Protocol = anongossip.ProtocolODMRP
-	case "odmrp-gossip":
-		cfg.Protocol = anongossip.ProtocolODMRPGossip
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
+	spec, err := anongossip.StackByName(*protocol)
+	if err != nil {
+		return err
 	}
+	cfg.Stack = spec
 	cfg.Nodes = *nodes
 	cfg.MemberFraction = *members
 	cfg.TxRange = *txRange
@@ -93,13 +90,13 @@ func run(args []string) error {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("protocol     %v\n", res.Protocol)
+	fmt.Printf("protocol     %v\n", res.Stack)
 	fmt.Printf("environment  %d nodes, %.0f m range, %.1f m/s max, %v\n",
 		cfg.Nodes, cfg.TxRange, cfg.MaxSpeed, cfg.Duration)
 	fmt.Printf("workload     %d packets from %v\n", res.Sent, res.Source)
 	fmt.Printf("delivery     mean %.1f  min %.0f  max %.0f  (ratio %.1f%%)\n",
 		res.Received.Mean, res.Received.Min, res.Received.Max, 100*res.DeliveryRatio())
-	if res.Protocol == scenario.ProtocolGossip || res.Protocol == scenario.ProtocolODMRPGossip {
+	if spec.Recovery != "" {
 		fmt.Printf("goodput      %.1f%%\n", res.MeanGoodput())
 	}
 	fmt.Printf("overhead     control %d KB, payload %d KB, %d MAC collisions\n",

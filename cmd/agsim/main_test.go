@@ -17,7 +17,9 @@ func TestRunShortSimulation(t *testing.T) {
 }
 
 func TestRunAllProtocols(t *testing.T) {
-	for _, p := range []string{"maodv", "flood"} {
+	// Canonical registry names, the composed sixth stack the legacy enum
+	// could not express, and a legacy alias spelling.
+	for _, p := range []string{"maodv", "flood", "flood+gossip", "odmrp-gossip"} {
 		if err := run([]string{"-protocol", p, "-nodes", "12", "-duration", "60s"}); err != nil {
 			t.Fatalf("protocol %s: %v", p, err)
 		}

@@ -28,6 +28,9 @@ type Config struct {
 	CacheSize int
 	// PayloadLen is the synthetic application payload size.
 	PayloadLen uint16
+	// RelayLifetime is how long a neighbour heard flooding data stays a
+	// valid gossip walk link (see NextHops). Zero disables tracking.
+	RelayLifetime time.Duration
 }
 
 // DefaultConfig returns flooding defaults matched to the paper's
@@ -37,6 +40,7 @@ func DefaultConfig() Config {
 		RebroadcastJitter: 10 * time.Millisecond,
 		CacheSize:         1024,
 		PayloadLen:        64,
+		RelayLifetime:     10 * time.Second,
 	}
 }
 
@@ -64,6 +68,15 @@ type Router struct {
 	next    int
 	seq     uint32
 
+	// relays maps neighbours recently heard transmitting data to the
+	// expiry of that evidence. Flooding keeps no routing structure, so
+	// these data-plane links are the walkable substrate a gossip
+	// recovery layer biases its anonymous walks over. Recording only
+	// happens once trackRelays is set (a recovery layer took the
+	// substrate); bare flooding pays nothing on the data hot path.
+	relays      map[pkt.NodeID]sim.Time
+	trackRelays bool
+
 	subs  []DeliverFunc
 	stats Stats
 }
@@ -77,6 +90,7 @@ func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
 		rng:     rng,
 		members: make(map[pkt.GroupID]bool),
 		seen:    make(map[pkt.SeqKey]struct{}, cfg.CacheSize),
+		relays:  make(map[pkt.NodeID]sim.Time),
 	}
 	st.Handle(pkt.KindData, r.onData)
 	return r
@@ -118,6 +132,9 @@ func (r *Router) onData(p *pkt.Packet, from pkt.NodeID) {
 	d, ok := p.Body.(*pkt.Data)
 	if !ok {
 		return
+	}
+	if r.trackRelays && r.cfg.RelayLifetime > 0 && from != r.stack.ID() {
+		r.relays[from] = r.sched.Now() + r.cfg.RelayLifetime
 	}
 	if _, dup := r.seen[d.Key()]; dup {
 		r.stats.DataDuplicates++

@@ -30,6 +30,16 @@ type UnicastRouter interface {
 	QueueForRoute(p *pkt.Packet)
 }
 
+// NullRouter is a UnicastRouter for stacks without unicast routing: it
+// never has a next hop and silently drops packets queued for discovery.
+type NullRouter struct{}
+
+// NextHop reports no route.
+func (NullRouter) NextHop(pkt.NodeID) (pkt.NodeID, bool) { return 0, false }
+
+// QueueForRoute drops the packet.
+func (NullRouter) QueueForRoute(*pkt.Packet) {}
+
 // Stats counts network-layer activity at one node.
 type Stats struct {
 	// Sent counts locally originated packets handed to the MAC.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"anongossip/internal/geom"
+	"anongossip/internal/stack"
 	"anongossip/internal/stats"
 )
 
@@ -79,42 +80,53 @@ func AggregateResults(results []*Result) Aggregate {
 	return agg
 }
 
-// ComparisonRow is one x-axis point of a Gossip-vs-MAODV figure.
+// ComparisonRow is one x-axis point of a treatment-versus-baseline
+// figure. The field names keep the paper's paired-curve labels: Gossip
+// holds the treatment stack's aggregate (the stack with the recovery
+// layer), Maodv the baseline's.
 type ComparisonRow struct {
 	X      float64
 	Gossip Aggregate
 	Maodv  Aggregate
 }
 
-// RunComparison sweeps xs, running both protocols at each point with the
-// given seeds, mirroring the paper's paired curves. apply customises the
-// base config for an x value. progress (optional) receives one line per
+// RunComparisonStacks sweeps xs, running the treatment and baseline
+// stacks at each point with the given seeds. apply customises the base
+// config for an x value. progress (optional) receives one line per
 // completed point.
-func RunComparison(base Config, xs []float64, apply func(Config, float64) Config,
-	seeds []int64, parallel int, progress io.Writer) ([]ComparisonRow, error) {
+func RunComparisonStacks(base Config, xs []float64, apply func(Config, float64) Config,
+	seeds []int64, parallel int, progress io.Writer, treatment, baseline stack.Spec) ([]ComparisonRow, error) {
 	rows := make([]ComparisonRow, 0, len(xs))
 	for _, x := range xs {
 		cfg := apply(base, x)
 
-		cfg.Protocol = ProtocolGossip
-		gRes, err := RunSeeds(cfg, seeds, parallel)
+		cfg.Stack = treatment
+		tRes, err := RunSeeds(cfg, seeds, parallel)
 		if err != nil {
-			return nil, fmt.Errorf("gossip at x=%v: %w", x, err)
+			return nil, fmt.Errorf("%v at x=%v: %w", treatment, x, err)
 		}
-		cfg.Protocol = ProtocolMAODV
-		mRes, err := RunSeeds(cfg, seeds, parallel)
+		cfg.Stack = baseline
+		bRes, err := RunSeeds(cfg, seeds, parallel)
 		if err != nil {
-			return nil, fmt.Errorf("maodv at x=%v: %w", x, err)
+			return nil, fmt.Errorf("%v at x=%v: %w", baseline, x, err)
 		}
-		row := ComparisonRow{X: x, Gossip: AggregateResults(gRes), Maodv: AggregateResults(mRes)}
+		row := ComparisonRow{X: x, Gossip: AggregateResults(tRes), Maodv: AggregateResults(bRes)}
 		rows = append(rows, row)
 		if progress != nil {
-			fmt.Fprintf(progress, "x=%-7.2f gossip %7.1f [%5.0f,%5.0f]   maodv %7.1f [%5.0f,%5.0f]\n",
-				x, row.Gossip.Received.Mean, row.Gossip.Received.Min, row.Gossip.Received.Max,
-				row.Maodv.Received.Mean, row.Maodv.Received.Min, row.Maodv.Received.Max)
+			fmt.Fprintf(progress, "x=%-7.2f %v %7.1f [%5.0f,%5.0f]   %v %7.1f [%5.0f,%5.0f]\n",
+				x, treatment, row.Gossip.Received.Mean, row.Gossip.Received.Min, row.Gossip.Received.Max,
+				baseline, row.Maodv.Received.Mean, row.Maodv.Received.Min, row.Maodv.Received.Max)
 		}
 	}
 	return rows, nil
+}
+
+// RunComparison sweeps xs with the paper's original pair — MAODV+AG as
+// treatment against bare MAODV — mirroring the published curves.
+func RunComparison(base Config, xs []float64, apply func(Config, float64) Config,
+	seeds []int64, parallel int, progress io.Writer) ([]ComparisonRow, error) {
+	return RunComparisonStacks(base, xs, apply, seeds, parallel, progress,
+		stack.Spec{Routing: "maodv", Recovery: "gossip"}, stack.Spec{Routing: "maodv"})
 }
 
 // --- paper figure definitions (see DESIGN.md experiment index) ---
@@ -269,10 +281,15 @@ type GoodputRow struct {
 	Summary   stats.Summary
 }
 
-// RunGoodput executes the Fig. 8 experiment for one case.
+// RunGoodput executes the Fig. 8 experiment for one case. The stack
+// under test is the base config's when it has a recovery layer, else
+// the paper's MAODV+AG.
 func RunGoodput(base Config, gc GoodputCase, seeds []int64, parallel int) (GoodputRow, error) {
 	cfg := base
-	cfg.Protocol = ProtocolGossip
+	cfg.Stack = cfg.Spec()
+	if cfg.Stack.Recovery == "" {
+		cfg.Stack = stack.Spec{Routing: "maodv", Recovery: "gossip"}
+	}
 	cfg.Nodes = 40
 	cfg.TxRange = gc.TxRange
 	cfg.MaxSpeed = gc.MaxSpeed

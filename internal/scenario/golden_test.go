@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The golden digests below were recorded from the pre-registry code
+// (the Protocol-enum switch era) and pin the exact per-member outcome
+// of every legacy protocol at fixed seeds. The stack-registry redesign
+// must reproduce them bit-for-bit: any divergence means the registry
+// path wires a protocol differently than the enum switch did.
+//
+// Regenerate (only after an intentional behaviour change) with:
+//
+//	go test ./internal/scenario -run TestLegacyProtocolGolden -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_stacks.json from the current code")
+
+// goldenView is the deterministic, JSON-stable projection of a Result.
+type goldenView struct {
+	Sent          int
+	Source        int
+	Events        uint64
+	MACCollisions uint64
+	ControlBytes  uint64
+	PayloadBytes  uint64
+	TreeLatency   time.Duration
+	RecLatency    time.Duration
+	ReceivedMean  float64
+	ReceivedMin   float64
+	ReceivedMax   float64
+	ReceivedStd   float64
+	Members       []MemberResult
+}
+
+func viewOf(r *Result) goldenView {
+	return goldenView{
+		Sent:          r.Sent,
+		Source:        int(r.Source),
+		Events:        r.Events,
+		MACCollisions: r.MACCollisions,
+		ControlBytes:  r.ControlBytes,
+		PayloadBytes:  r.PayloadBytes,
+		TreeLatency:   r.TreeLatencyMean,
+		RecLatency:    r.RecoveredLatencyMean,
+		ReceivedMean:  r.Received.Mean,
+		ReceivedMin:   r.Received.Min,
+		ReceivedMax:   r.Received.Max,
+		ReceivedStd:   r.Received.Std,
+		Members:       r.Members,
+	}
+}
+
+// goldenConfig is the trimmed run the digests were recorded under.
+func goldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 25
+	cfg.TxRange = 60
+	cfg.Duration = 120 * time.Second
+	cfg.DataStart = 30 * time.Second
+	cfg.DataEnd = 100 * time.Second
+	return cfg
+}
+
+var goldenProtocols = []Protocol{
+	ProtocolMAODV, ProtocolGossip, ProtocolFlood, ProtocolODMRP, ProtocolODMRPGossip,
+}
+
+var goldenSeeds = []int64{1, 2}
+
+const goldenPath = "testdata/golden_stacks.json"
+
+// TestLegacyProtocolGolden is the differential test of the stack
+// redesign: every legacy Protocol constant, resolved through whatever
+// dispatch path the current code uses, must reproduce the recorded
+// pre-redesign results exactly.
+func TestLegacyProtocolGolden(t *testing.T) {
+	got := make(map[string]goldenView)
+	for _, p := range goldenProtocols {
+		for _, seed := range goldenSeeds {
+			cfg := goldenConfig()
+			cfg.Protocol = p
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", p, seed, err)
+			}
+			got[key(p, seed)] = viewOf(res)
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (record with -update-golden): %v", err)
+	}
+	var want map[string]goldenView
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if len(want) != len(goldenProtocols)*len(goldenSeeds) {
+		t.Fatalf("golden file holds %d digests, want %d", len(want), len(goldenProtocols)*len(goldenSeeds))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing from current run set", k)
+			continue
+		}
+		wj, _ := json.Marshal(w)
+		gj, _ := json.Marshal(g)
+		if string(wj) != string(gj) {
+			t.Errorf("%s diverged from pre-redesign golden:\n want %s\n got  %s", k, wj, gj)
+		}
+	}
+}
+
+func key(p Protocol, seed int64) string {
+	return fmt.Sprintf("%v/seed=%d", p, seed)
+}

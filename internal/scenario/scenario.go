@@ -25,11 +25,16 @@ import (
 	"anongossip/internal/pkt"
 	"anongossip/internal/radio"
 	"anongossip/internal/sim"
+	"anongossip/internal/stack"
 	"anongossip/internal/stats"
 	"anongossip/internal/trace"
 )
 
-// Protocol selects the multicast stack under test.
+// Protocol is the legacy stack selector. The constants survive as thin
+// aliases that resolve through the stack registry (package
+// internal/stack); new code should prefer Config.Stack, which composes
+// any registered routing protocol with any registered recovery layer —
+// including combinations the enum never had, such as flood+gossip.
 type Protocol int
 
 // Protocols under test.
@@ -51,22 +56,55 @@ const (
 	ProtocolODMRPGossip
 )
 
+// legacyStacks maps each Protocol constant onto the registry spec it
+// aliases.
+var legacyStacks = map[Protocol]stack.Spec{
+	ProtocolMAODV:       {Routing: "maodv"},
+	ProtocolGossip:      {Routing: "maodv", Recovery: "gossip"},
+	ProtocolFlood:       {Routing: "flood"},
+	ProtocolODMRP:       {Routing: "odmrp"},
+	ProtocolODMRPGossip: {Routing: "odmrp", Recovery: "gossip"},
+}
+
+// legacyNames labels the legacy protocols as the paper's figures do.
+var legacyNames = map[Protocol]string{
+	ProtocolMAODV:       "Maodv",
+	ProtocolGossip:      "Gossip",
+	ProtocolFlood:       "Flood",
+	ProtocolODMRP:       "Odmrp",
+	ProtocolODMRPGossip: "Odmrp+AG",
+}
+
+// init teaches the registry the legacy spellings the CLIs and the
+// paper's figure labels use.
+func init() {
+	stack.RegisterAlias("gossip", stack.Spec{Routing: "maodv", Recovery: "gossip"})
+	stack.RegisterAlias("odmrp-gossip", stack.Spec{Routing: "odmrp", Recovery: "gossip"})
+	stack.RegisterAlias("odmrp+ag", stack.Spec{Routing: "odmrp", Recovery: "gossip"})
+}
+
+// Spec resolves the legacy constant to its registry spec (the zero Spec
+// for values outside the enum).
+func (p Protocol) Spec() stack.Spec { return legacyStacks[p] }
+
+// ProtocolOf reverse-maps a stack spec onto its legacy constant; ok is
+// false for combinations the enum never expressed (e.g. flood+gossip).
+func ProtocolOf(s stack.Spec) (Protocol, bool) {
+	s = s.Normalize()
+	for p, ls := range legacyStacks {
+		if ls == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
 // String names the protocol as the paper's figures do.
 func (p Protocol) String() string {
-	switch p {
-	case ProtocolMAODV:
-		return "Maodv"
-	case ProtocolGossip:
-		return "Gossip"
-	case ProtocolFlood:
-		return "Flood"
-	case ProtocolODMRP:
-		return "Odmrp"
-	case ProtocolODMRPGossip:
-		return "Odmrp+AG"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
+	if n, ok := legacyNames[p]; ok {
+		return n
 	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
 }
 
 // Group is the single multicast group used by all experiments.
@@ -74,6 +112,13 @@ const Group pkt.GroupID = 0xE0000001
 
 // Config describes one simulation run.
 type Config struct {
+	// Stack composes the protocol stack under test by registry name: a
+	// routing protocol ("maodv", "odmrp", "flood") plus an optional
+	// recovery layer ("gossip"). When set it takes precedence over the
+	// legacy Protocol field.
+	Stack stack.Spec
+	// Protocol is the legacy stack selector, kept source-compatible;
+	// its constants resolve through the same registry as Stack.
 	Protocol Protocol
 
 	// Area is the terrain (200 m × 200 m in the paper).
@@ -178,11 +223,22 @@ func (c Config) sources() int {
 	return c.NumSources
 }
 
-// Validate reports configuration errors.
+// Spec returns the effective stack spec: Config.Stack when set, else
+// the legacy Protocol alias resolved through the registry.
+func (c Config) Spec() stack.Spec {
+	if !c.Stack.IsZero() {
+		return c.Stack.Normalize()
+	}
+	return c.Protocol.Spec()
+}
+
+// Validate reports configuration errors. Stack validation is a registry
+// lookup: the error of an unknown stack lists every registered name.
 func (c Config) Validate() error {
+	if _, _, err := stack.Resolve(c.Spec()); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	switch {
-	case c.Protocol < ProtocolMAODV || c.Protocol > ProtocolODMRPGossip:
-		return fmt.Errorf("scenario: unknown protocol %d", c.Protocol)
 	case c.Nodes < 2:
 		return fmt.Errorf("scenario: need at least 2 nodes, have %d", c.Nodes)
 	case c.MemberFraction <= 0 || c.MemberFraction > 1:
@@ -216,6 +272,10 @@ type MemberResult struct {
 
 // Result is the outcome of one simulation run.
 type Result struct {
+	// Stack names the protocol stack that ran.
+	Stack stack.Spec
+	// Protocol is the legacy alias of Stack, zero for combinations the
+	// enum never expressed (e.g. flood+gossip).
 	Protocol Protocol
 	Seed     int64
 	// Sent is the number of data packets the source generated.
@@ -256,8 +316,8 @@ func (r *Result) DeliveryRatio() float64 {
 	return r.Received.Mean / float64(r.Sent)
 }
 
-// MeanGoodput averages member goodput (only meaningful for
-// ProtocolGossip).
+// MeanGoodput averages member goodput (only meaningful for stacks with
+// a recovery layer; bare-routing members report 100).
 func (r *Result) MeanGoodput() float64 {
 	if len(r.Members) == 0 {
 		return 100
@@ -285,15 +345,13 @@ func Run(cfg Config) (*Result, error) {
 // world is one assembled simulation.
 type world struct {
 	cfg    Config
+	spec   stack.Spec
 	sched  *sim.Scheduler
 	medium *radio.Medium
 
-	stacks  []*node.Stack
-	unis    []*aodv.Router
-	mroutes []*maodv.Router
-	floods  []*flood.Router
-	odmrps  []*odmrp.Router
-	engines []*gossip.Engine
+	stacks   []*node.Stack
+	routing  []stack.RoutingNode
+	recovery []stack.RecoveryNode // nil entries when the spec has no recovery layer
 
 	memberIdx []int // node indices that are members; the first sources() are senders
 	isSource  map[int]bool
@@ -305,22 +363,14 @@ type world struct {
 	treeLatCount, recLatCount uint64
 }
 
-// treeAdapter exposes a maodv.Router through the gossip.Tree interface.
-type treeAdapter struct{ r *maodv.Router }
-
-func (t treeAdapter) NextHops(g pkt.GroupID) []gossip.NextHop {
-	hops := t.r.TreeNextHops(g)
-	out := make([]gossip.NextHop, len(hops))
-	for i, h := range hops {
-		out[i] = gossip.NextHop{ID: h.ID, Nearest: h.Nearest}
-	}
-	return out
-}
-
-func (t treeAdapter) IsMember(g pkt.GroupID) bool { return t.r.IsMember(g) }
-
 func build(cfg Config) (*world, error) {
-	w := &world{cfg: cfg, sched: sim.NewSchedulerQueue(cfg.EventQueue)}
+	spec := cfg.Spec()
+	routingB, recoveryB, err := stack.Resolve(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+
+	w := &world{cfg: cfg, spec: spec, sched: sim.NewSchedulerQueue(cfg.EventQueue)}
 	w.medium = radio.NewMedium(w.sched, radio.Params{Range: cfg.TxRange, Index: cfg.RadioIndex})
 	root := sim.NewRNG(cfg.Seed)
 
@@ -338,6 +388,14 @@ func build(cfg Config) (*world, error) {
 		}
 	}
 
+	params := stack.Params{
+		"aodv":   cfg.AODV,
+		"maodv":  cfg.MAODV,
+		"flood":  cfg.Flood,
+		"odmrp":  cfg.ODMRP,
+		"gossip": cfg.Gossip,
+	}
+
 	for i := 0; i < cfg.Nodes; i++ {
 		id := pkt.NodeID(i + 1)
 		mob := mobility.NewWaypoint(mobCfg, root.Derive(fmt.Sprintf("mob/%d", i)))
@@ -347,56 +405,28 @@ func build(cfg Config) (*world, error) {
 		}
 		w.stacks = append(w.stacks, st)
 
-		switch cfg.Protocol {
-		case ProtocolFlood:
-			fr := flood.New(st, root.Derive(fmt.Sprintf("flood/%d", i)), cfg.Flood)
-			st.SetRouter(nullRouter{})
-			fr.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
+		env := stack.Env{Stack: st, RNG: root, Index: i, Params: params}
+		rn := routingB.Build(env)
+		var recn stack.RecoveryNode
+		if recoveryB != nil {
+			recn, err = recoveryB.Build(env, rn)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: assembling stack %v: %w", spec, err)
+			}
+			recn.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, recovered bool) {
+				w.noteLatency(d.Key(), recovered)
+			})
+		} else {
+			rn.OnDeliver(func(_ pkt.GroupID, d *pkt.Data) {
 				w.noteLatency(d.Key(), false)
 			})
-			w.floods = append(w.floods, fr)
-		case ProtocolODMRP, ProtocolODMRPGossip:
-			or := odmrp.New(st, root.Derive(fmt.Sprintf("odmrp/%d", i)), cfg.ODMRP)
-			if cfg.Protocol == ProtocolODMRPGossip {
-				// Gossip replies are unicast: AODV supplies routes.
-				uni := aodv.New(st, root.Derive(fmt.Sprintf("aodv/%d", i)), cfg.AODV)
-				eng := gossip.New(st, or, root.Derive(fmt.Sprintf("gossip/%d", i)), cfg.Gossip)
-				eng.SetHopEstimator(uni.RouteHops)
-				or.OnDeliver(eng.OnTreeData)
-				eng.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, recovered bool) {
-					w.noteLatency(d.Key(), recovered)
-				})
-				w.unis = append(w.unis, uni)
-				w.engines = append(w.engines, eng)
-				uni.Start()
-			} else {
-				st.SetRouter(nullRouter{})
-				or.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
-					w.noteLatency(d.Key(), false)
-				})
-			}
-			w.odmrps = append(w.odmrps, or)
-		default:
-			uni := aodv.New(st, root.Derive(fmt.Sprintf("aodv/%d", i)), cfg.AODV)
-			mr := maodv.New(st, uni, root.Derive(fmt.Sprintf("maodv/%d", i)), cfg.MAODV)
-			w.unis = append(w.unis, uni)
-			w.mroutes = append(w.mroutes, mr)
-			if cfg.Protocol == ProtocolGossip {
-				eng := gossip.New(st, treeAdapter{mr}, root.Derive(fmt.Sprintf("gossip/%d", i)), cfg.Gossip)
-				eng.SetHopEstimator(uni.RouteHops)
-				mr.OnDeliver(eng.OnTreeData)
-				mr.OnMemberEvidence(eng.OnMemberEvidence)
-				eng.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, recovered bool) {
-					w.noteLatency(d.Key(), recovered)
-				})
-				w.engines = append(w.engines, eng)
-			} else {
-				mr.OnDeliver(func(_ pkt.GroupID, d *pkt.Data, _ pkt.NodeID) {
-					w.noteLatency(d.Key(), false)
-				})
-			}
-			uni.Start()
 		}
+		rn.Start()
+		if recn != nil {
+			recn.Start()
+		}
+		w.routing = append(w.routing, rn)
+		w.recovery = append(w.recovery, recn)
 	}
 
 	// Membership: a random third of the nodes; the first drawn members
@@ -465,69 +495,28 @@ func (w *world) noteLatency(key pkt.SeqKey, recovered bool) {
 	}
 }
 
-// nullRouter satisfies node.UnicastRouter for the flooding stack, which
-// needs no unicast routing.
-type nullRouter struct{}
-
-func (nullRouter) NextHop(pkt.NodeID) (pkt.NodeID, bool) { return 0, false }
-func (nullRouter) QueueForRoute(*pkt.Packet)             {}
-
 func (w *world) join(idx int) {
-	switch w.cfg.Protocol {
-	case ProtocolFlood:
-		w.floods[idx].Join(Group)
-	case ProtocolODMRP, ProtocolODMRPGossip:
-		w.odmrps[idx].Join(Group)
-		if w.cfg.Protocol == ProtocolODMRPGossip {
-			w.engines[idx].Attach(Group)
-		}
-	default:
-		w.mroutes[idx].Join(Group)
-		if w.cfg.Protocol == ProtocolGossip {
-			w.engines[idx].Attach(Group)
-		}
+	w.routing[idx].Join(Group)
+	if rec := w.recovery[idx]; rec != nil {
+		rec.Attach(Group)
 	}
 }
 
 func (w *world) sendData(idx int) {
-	switch w.cfg.Protocol {
-	case ProtocolFlood:
-		if key, err := w.floods[idx].SendData(Group); err == nil {
-			w.sent++
-			w.sentAt[key] = w.sched.Now()
-		}
-	case ProtocolODMRP, ProtocolODMRPGossip:
-		key, err := w.odmrps[idx].SendData(Group)
-		if err != nil {
-			return
-		}
-		w.sent++
-		w.sentAt[key] = w.sched.Now()
-		if w.cfg.Protocol == ProtocolODMRPGossip {
-			w.engines[idx].OnLocalData(Group, pkt.Data{
-				Group: Group, Origin: key.Origin, Seq: key.Seq,
-				PayloadLen: w.cfg.ODMRP.PayloadLen,
-			})
-		}
-	default:
-		key, err := w.mroutes[idx].SendData(Group)
-		if err != nil {
-			return
-		}
-		w.sent++
-		w.sentAt[key] = w.sched.Now()
-		if w.cfg.Protocol == ProtocolGossip {
-			w.engines[idx].OnLocalData(Group, pkt.Data{
-				Group: Group, Origin: key.Origin, Seq: key.Seq,
-				PayloadLen: w.cfg.MAODV.PayloadLen,
-			})
-		}
+	key, err := w.routing[idx].SendData(Group)
+	if err != nil {
+		return
+	}
+	w.sent++
+	w.sentAt[key] = w.sched.Now()
+	if rec := w.recovery[idx]; rec != nil {
+		rec.OnLocalSend(Group, key)
 	}
 }
 
 func (w *world) collect() *Result {
 	res := &Result{
-		Protocol:   w.cfg.Protocol,
+		Stack:      w.spec,
 		Seed:       w.cfg.Seed,
 		Sent:       w.sent,
 		Source:     pkt.NodeID(w.memberIdx[0] + 1),
@@ -536,6 +525,9 @@ func (w *world) collect() *Result {
 		Trace:      w.tracer,
 	}
 	res.MACCollisions = w.medium.Stats().Collisions
+	if p, ok := ProtocolOf(w.spec); ok {
+		res.Protocol = p
+	}
 
 	if w.treeLatCount > 0 {
 		res.TreeLatencyMean = w.treeLatSum / time.Duration(w.treeLatCount)
@@ -550,23 +542,16 @@ func (w *world) collect() *Result {
 			continue // sources trivially have their own packets
 		}
 		mr := MemberResult{Node: pkt.NodeID(idx + 1)}
-		switch w.cfg.Protocol {
-		case ProtocolFlood:
-			mr.Received = int(w.floods[idx].Stats().DataDelivered)
+		if rec := w.recovery[idx]; rec != nil {
+			rs := rec.Stats()
+			mr.Received = int(rs.Delivered)
+			mr.Recovered = int(rs.Recovered)
+			mr.ReplyNew = rs.ReplyNew
+			mr.ReplyDup = rs.ReplyDup
+			mr.Goodput = rs.Goodput
+		} else {
+			mr.Received = int(w.routing[idx].Delivered())
 			mr.Goodput = 100
-		case ProtocolMAODV:
-			mr.Received = int(w.mroutes[idx].Stats().DataDelivered)
-			mr.Goodput = 100
-		case ProtocolODMRP:
-			mr.Received = int(w.odmrps[idx].Stats().DataDelivered)
-			mr.Goodput = 100
-		case ProtocolGossip, ProtocolODMRPGossip:
-			gs := w.engines[idx].Stats()
-			mr.Received = int(gs.Delivered)
-			mr.Recovered = int(gs.ReplyMsgsNew)
-			mr.ReplyNew = gs.ReplyMsgsNew
-			mr.ReplyDup = gs.ReplyMsgsDup
-			mr.Goodput = gs.Goodput()
 		}
 		res.Members = append(res.Members, mr)
 		received = append(received, mr.Received)

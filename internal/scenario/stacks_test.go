@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"anongossip/internal/stack"
+)
+
+// TestRegisteredStacks pins the composable stack set: three routing
+// protocols × (bare | gossip) = six stacks, including flood+gossip,
+// the combination the legacy enum could not express.
+func TestRegisteredStacks(t *testing.T) {
+	want := []string{
+		"maodv", "maodv+gossip",
+		"odmrp", "odmrp+gossip",
+		"flood", "flood+gossip",
+	}
+	names := stack.Names()
+	got := map[string]bool{}
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("stack %q not registered (have %v)", w, names)
+		}
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registered %d stacks %v, want %d", len(names), names, len(want))
+	}
+	// Every canonical name round-trips through the registry.
+	for _, s := range stack.Stacks() {
+		back, err := stack.ByName(s.String())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s, err)
+		}
+		if back != s.Normalize() {
+			t.Fatalf("round-trip %q: got %v", s, back)
+		}
+	}
+}
+
+// TestLegacyProtocolAliases checks every Protocol constant and every
+// legacy CLI spelling resolves to the right registry spec.
+func TestLegacyProtocolAliases(t *testing.T) {
+	byConst := map[Protocol]stack.Spec{
+		ProtocolMAODV:       {Routing: "maodv"},
+		ProtocolGossip:      {Routing: "maodv", Recovery: "gossip"},
+		ProtocolFlood:       {Routing: "flood"},
+		ProtocolODMRP:       {Routing: "odmrp"},
+		ProtocolODMRPGossip: {Routing: "odmrp", Recovery: "gossip"},
+	}
+	for p, want := range byConst {
+		if got := p.Spec(); got != want {
+			t.Fatalf("%v.Spec() = %v, want %v", p, got, want)
+		}
+		if back, ok := ProtocolOf(want); !ok || back != p {
+			t.Fatalf("ProtocolOf(%v) = %v, %v; want %v", want, back, ok, p)
+		}
+	}
+	if _, ok := ProtocolOf(stack.Spec{Routing: "flood", Recovery: "gossip"}); ok {
+		t.Fatal("flood+gossip claims a legacy constant")
+	}
+	byName := map[string]stack.Spec{
+		"gossip":       {Routing: "maodv", Recovery: "gossip"},
+		"odmrp-gossip": {Routing: "odmrp", Recovery: "gossip"},
+		"odmrp+ag":     {Routing: "odmrp", Recovery: "gossip"},
+	}
+	for name, want := range byName {
+		got, err := stack.ByName(name)
+		if err != nil {
+			t.Fatalf("alias %q: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("alias %q = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestValidateUnknownStackListsNames checks the registry-backed
+// Validate error names every registered stack instead of the old
+// opaque "unknown protocol N".
+func TestValidateUnknownStackListsNames(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Protocol = 0
+	cfg.Stack = stack.Spec{Routing: "carrier-pigeon"}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+	for _, name := range stack.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("validate error does not list %q: %v", name, err)
+		}
+	}
+}
+
+// TestStackFieldMatchesLegacyProtocol runs the same scenario selected
+// through Config.Stack and through the legacy Protocol constant and
+// requires bit-identical results — the two selectors are aliases of
+// one registry entry.
+func TestStackFieldMatchesLegacyProtocol(t *testing.T) {
+	base := shortConfig()
+	base.Seed = 5
+
+	legacy := base
+	legacy.Protocol = ProtocolGossip
+	a, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byStack := base
+	byStack.Protocol = 0
+	byStack.Stack = stack.Spec{Routing: "maodv", Recovery: "gossip"}
+	b, err := Run(byStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Events != b.Events || a.Received != b.Received || a.Sent != b.Sent {
+		t.Fatalf("Stack spec diverged from legacy Protocol:\n legacy %+v events=%d\n spec   %+v events=%d",
+			a.Received, a.Events, b.Received, b.Events)
+	}
+	if a.Protocol != ProtocolGossip || b.Protocol != ProtocolGossip {
+		t.Fatalf("legacy Protocol not back-filled: %v / %v", a.Protocol, b.Protocol)
+	}
+	if a.Stack.String() != "maodv+gossip" || b.Stack.String() != "maodv+gossip" {
+		t.Fatalf("result stack = %v / %v, want maodv+gossip", a.Stack, b.Stack)
+	}
+}
+
+// TestFloodGossipStack exercises the sixth registered stack end to end:
+// Anonymous Gossip over plain flooding, a combination the Protocol enum
+// forbade. At a short 45 m range flooding drops plenty of packets;
+// the gossip layer must recover some of them and never hurt the mean.
+func TestFloodGossipStack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 25
+	cfg.TxRange = 45
+	cfg.Duration = 120 * time.Second
+	cfg.DataStart = 30 * time.Second
+	cfg.DataEnd = 100 * time.Second
+
+	for _, seed := range []int64{1, 2} {
+		bare := cfg
+		bare.Seed = seed
+		bare.Stack = stack.Spec{Routing: "flood"}
+		base, err := Run(bare)
+		if err != nil {
+			t.Fatalf("flood seed %d: %v", seed, err)
+		}
+
+		composed := cfg
+		composed.Seed = seed
+		composed.Stack = stack.Spec{Routing: "flood", Recovery: "gossip"}
+		res, err := Run(composed)
+		if err != nil {
+			t.Fatalf("flood+gossip seed %d: %v", seed, err)
+		}
+
+		if res.Protocol != 0 {
+			t.Fatalf("flood+gossip mapped to legacy protocol %v", res.Protocol)
+		}
+		if got := res.Stack.String(); got != "flood+gossip" {
+			t.Fatalf("result stack = %q", got)
+		}
+		recovered := 0
+		for _, m := range res.Members {
+			if m.Recovered > m.Received {
+				t.Fatalf("member %v recovered %d > received %d", m.Node, m.Recovered, m.Received)
+			}
+			if m.Goodput < 0 || m.Goodput > 100 {
+				t.Fatalf("member %v goodput %v", m.Node, m.Goodput)
+			}
+			recovered += m.Recovered
+		}
+		if recovered == 0 {
+			t.Fatalf("seed %d: gossip over flooding recovered nothing", seed)
+		}
+		if res.Received.Mean < base.Received.Mean {
+			t.Fatalf("seed %d: flood+gossip mean %.1f below bare flood %.1f",
+				seed, res.Received.Mean, base.Received.Mean)
+		}
+		t.Logf("seed %d: flood %.1f -> flood+gossip %.1f (recovered %d)",
+			seed, base.Received.Mean, res.Received.Mean, recovered)
+	}
+}

@@ -1,0 +1,164 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeRouting string
+
+func (f fakeRouting) Name() string          { return string(f) }
+func (f fakeRouting) Build(Env) RoutingNode { return nil }
+
+type fakeRecovery string
+
+func (f fakeRecovery) Name() string { return string(f) }
+func (f fakeRecovery) Build(Env, RoutingNode) (RecoveryNode, error) {
+	return nil, nil
+}
+
+func testRegistry() *Registry {
+	r := &Registry{}
+	r.RegisterRouting(fakeRouting("tree"))
+	r.RegisterRouting(fakeRouting("mesh"))
+	r.RegisterRecovery(fakeRecovery("repair"))
+	r.RegisterAlias("classic", Spec{Routing: "tree", Recovery: "repair"})
+	return r
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	r := testRegistry()
+	mustPanic(t, "duplicate routing", func() { r.RegisterRouting(fakeRouting("tree")) })
+	mustPanic(t, "duplicate routing (case)", func() { r.RegisterRouting(fakeRouting("TREE")) })
+	mustPanic(t, "duplicate recovery", func() { r.RegisterRecovery(fakeRecovery("repair")) })
+	mustPanic(t, "empty routing name", func() { r.RegisterRouting(fakeRouting("")) })
+	mustPanic(t, "reserved routing name", func() { r.RegisterRouting(fakeRouting("none")) })
+	mustPanic(t, "reserved recovery name", func() { r.RegisterRecovery(fakeRecovery("none")) })
+	mustPanic(t, "conflicting alias", func() { r.RegisterAlias("classic", Spec{Routing: "mesh"}) })
+	// Re-registering an alias with the same target is tolerated.
+	r.RegisterAlias("classic", Spec{Routing: "tree", Recovery: "repair"})
+}
+
+func TestStacksCrossProduct(t *testing.T) {
+	r := testRegistry()
+	want := []Spec{
+		{Routing: "tree"},
+		{Routing: "tree", Recovery: "repair"},
+		{Routing: "mesh"},
+		{Routing: "mesh", Recovery: "repair"},
+	}
+	got := r.Stacks()
+	if len(got) != len(want) {
+		t.Fatalf("stacks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stacks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByNameAndRoundTrip(t *testing.T) {
+	r := testRegistry()
+	for _, s := range r.Stacks() {
+		got, err := r.ByName(s.String())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round-trip %q: got %v, want %v", s.String(), got, s)
+		}
+	}
+	cases := map[string]Spec{
+		"tree":          {Routing: "tree"},
+		"Tree":          {Routing: "tree"},
+		"tree+none":     {Routing: "tree"},
+		" mesh+repair ": {Routing: "mesh", Recovery: "repair"},
+		"MESH+REPAIR":   {Routing: "mesh", Recovery: "repair"},
+		"classic":       {Routing: "tree", Recovery: "repair"},
+		"CLASSIC":       {Routing: "tree", Recovery: "repair"},
+	}
+	for name, want := range cases {
+		got, err := r.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ByName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestByNameUnknownListsRegistered(t *testing.T) {
+	r := testRegistry()
+	for _, bad := range []string{"carrier-pigeon", "tree+carrier", "bogus+repair", ""} {
+		_, err := r.ByName(bad)
+		if err == nil {
+			t.Fatalf("ByName(%q) accepted", bad)
+		}
+		for _, name := range r.Names() {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("error for %q does not list registered stack %q: %v", bad, name, err)
+			}
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	r := testRegistry()
+	rt, rec, err := r.Resolve(Spec{Routing: "tree", Recovery: "repair"})
+	if err != nil || rt == nil || rec == nil {
+		t.Fatalf("resolve full stack: rt=%v rec=%v err=%v", rt, rec, err)
+	}
+	rt, rec, err = r.Resolve(Spec{Routing: "mesh"})
+	if err != nil || rt == nil || rec != nil {
+		t.Fatalf("resolve bare routing: rt=%v rec=%v err=%v", rt, rec, err)
+	}
+	if _, _, err := r.Resolve(Spec{}); err == nil {
+		t.Fatal("zero spec resolved")
+	}
+	if _, _, err := r.Resolve(Spec{Routing: "bogus"}); err == nil {
+		t.Fatal("unknown routing resolved")
+	}
+	if _, _, err := r.Resolve(Spec{Routing: "tree", Recovery: "bogus"}); err == nil {
+		t.Fatal("unknown recovery resolved")
+	}
+}
+
+func TestSpecNormalizeAndString(t *testing.T) {
+	if got := (Spec{Routing: "Tree", Recovery: "None"}).String(); got != "tree" {
+		t.Fatalf("String() = %q, want %q", got, "tree")
+	}
+	if got := (Spec{Routing: "a", Recovery: "b"}).String(); got != "a+b" {
+		t.Fatalf("String() = %q, want %q", got, "a+b")
+	}
+	if !(Spec{}).IsZero() {
+		t.Fatal("zero spec not IsZero")
+	}
+	if (Spec{Routing: "x"}).IsZero() {
+		t.Fatal("non-zero spec IsZero")
+	}
+}
+
+func TestParam(t *testing.T) {
+	p := Params{"a": 7, "b": "not-an-int"}
+	if got := Param(p, "a", func() int { return -1 }); got != 7 {
+		t.Fatalf("Param present = %d, want 7", got)
+	}
+	if got := Param(p, "c", func() int { return -1 }); got != -1 {
+		t.Fatalf("Param absent = %d, want fallback -1", got)
+	}
+	// A present key of the wrong type is a mis-wired assembly, not a
+	// condition to paper over with defaults.
+	mustPanic(t, "wrong-typed param", func() { Param(p, "b", func() int { return -1 }) })
+}
