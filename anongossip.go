@@ -154,6 +154,22 @@ const (
 	IndexBrute = radio.IndexBrute
 )
 
+// ReceptionModel selects the radio's reception bookkeeping (see
+// Config.RxModel). The batched model schedules one finish event per
+// transmission over a pooled per-frame receiver table; the reference
+// model schedules one event per receiver and is kept for differential
+// testing. Both produce bit-identical results for the same seed.
+type ReceptionModel = radio.ReceptionModel
+
+// Reception models.
+const (
+	// ModelBatch (the default) batches each frame's receptions into a
+	// single finish event.
+	ModelBatch = radio.ModelBatch
+	// ModelRef is the original per-receiver reception path.
+	ModelRef = radio.ModelRef
+)
+
 // QueueKind selects the simulation kernel's event-queue implementation
 // (see Config.EventQueue). The pooled 4-ary heap is allocation-free on
 // the push/pop path; the container/heap reference is kept for
@@ -189,4 +205,23 @@ func LargeScaleConfig(nodes int) Config { return scenario.LargeScaleConfig(nodes
 // to keep large-scale runs affordable.
 func ShortenedData(c Config, duration time.Duration) Config {
 	return scenario.ShortenedData(c, duration)
+}
+
+// DenseXs returns the target mean degrees of the dense-traffic
+// experiment family (20..60 neighbours with multiple concurrent
+// senders; see EXPERIMENTS.md §D).
+func DenseXs() []float64 { return scenario.DenseXs() }
+
+// ApplyDense reshapes a config to one dense-traffic sweep point: the
+// field is packed so the expected mean degree at the paper's 75 m range
+// equals degree for the config's node count.
+func ApplyDense(c Config, degree float64) Config {
+	return scenario.ApplyDense(c, degree)
+}
+
+// DenseConfig returns the ready-to-run dense-traffic configuration at
+// one node count and target mean degree, with multiple concurrent CBR
+// sources.
+func DenseConfig(nodes int, degree float64) Config {
+	return scenario.DenseConfig(nodes, degree)
 }

@@ -255,17 +255,20 @@ func BenchmarkSingleRun(b *testing.B) {
 
 // --- large-scale family (beyond the paper; see EXPERIMENTS.md §L) ---
 
-// benchLargeScale runs one large-scale simulation per iteration with the
-// chosen neighbour index and event queue. The grid/brute and quad/ref
-// pairs at the same node count execute bit-identical event schedules
-// (asserted by the scenario tests), so their ns/op differences isolate
-// the index's and the queue's costs: simulator performance, not a
+// benchLargeScale runs one large-scale simulation per iteration with
+// the chosen neighbour index, event queue and reception model. The
+// grid/brute, quad/ref and batch/ref pairs at the same node count
+// execute bit-identical event schedules (asserted by the scenario
+// tests), so their ns/op differences isolate the index's, the queue's
+// and the reception path's costs: simulator performance, not a
 // protocol result.
-func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, queue sim.QueueKind, duration time.Duration) {
+func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, queue sim.QueueKind,
+	model radio.ReceptionModel, duration time.Duration) {
 	b.Helper()
 	cfg := scenario.ShortenedData(scenario.LargeScaleConfig(nodes), duration)
 	cfg.RadioIndex = kind
 	cfg.EventQueue = queue
+	cfg.RxModel = model
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		res, err := scenario.Run(cfg)
@@ -284,22 +287,22 @@ func benchLargeScale(b *testing.B, nodes int, kind radio.IndexKind, queue sim.Qu
 // the brute-force O(N) scans fall further behind the grid's O(degree)
 // queries.
 func BenchmarkLargeScale250Grid(b *testing.B) {
-	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueQuad, 60*time.Second)
+	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueQuad, radio.ModelBatch, 60*time.Second)
 }
 func BenchmarkLargeScale250Brute(b *testing.B) {
-	benchLargeScale(b, 250, radio.IndexBrute, sim.QueueQuad, 60*time.Second)
+	benchLargeScale(b, 250, radio.IndexBrute, sim.QueueQuad, radio.ModelBatch, 60*time.Second)
 }
 func BenchmarkLargeScale500Grid(b *testing.B) {
-	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueQuad, 45*time.Second)
+	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueQuad, radio.ModelBatch, 45*time.Second)
 }
 func BenchmarkLargeScale500Brute(b *testing.B) {
-	benchLargeScale(b, 500, radio.IndexBrute, sim.QueueQuad, 45*time.Second)
+	benchLargeScale(b, 500, radio.IndexBrute, sim.QueueQuad, radio.ModelBatch, 45*time.Second)
 }
 func BenchmarkLargeScale1000Grid(b *testing.B) {
-	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueQuad, 30*time.Second)
+	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueQuad, radio.ModelBatch, 30*time.Second)
 }
 func BenchmarkLargeScale1000Brute(b *testing.B) {
-	benchLargeScale(b, 1000, radio.IndexBrute, sim.QueueQuad, 30*time.Second)
+	benchLargeScale(b, 1000, radio.IndexBrute, sim.QueueQuad, radio.ModelBatch, 30*time.Second)
 }
 
 // The QueueRef variants rerun the grid benchmarks with the
@@ -307,13 +310,61 @@ func BenchmarkLargeScale1000Brute(b *testing.B) {
 // benchmark above isolates the event-queue refactor's end-to-end win
 // on bit-identical workloads.
 func BenchmarkLargeScale250GridQueueRef(b *testing.B) {
-	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueRef, 60*time.Second)
+	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueRef, radio.ModelBatch, 60*time.Second)
 }
 func BenchmarkLargeScale500GridQueueRef(b *testing.B) {
-	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueRef, 45*time.Second)
+	benchLargeScale(b, 500, radio.IndexGrid, sim.QueueRef, radio.ModelBatch, 45*time.Second)
 }
 func BenchmarkLargeScale1000GridQueueRef(b *testing.B) {
-	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueRef, 30*time.Second)
+	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueRef, radio.ModelBatch, 30*time.Second)
+}
+
+// The RxRef variants rerun the grid benchmarks with the per-receiver
+// reference reception path: the gap against the matching Grid benchmark
+// isolates the batched reception refactor's end-to-end win on
+// bit-identical workloads.
+func BenchmarkLargeScale250GridRxRef(b *testing.B) {
+	benchLargeScale(b, 250, radio.IndexGrid, sim.QueueQuad, radio.ModelRef, 60*time.Second)
+}
+func BenchmarkLargeScale1000GridRxRef(b *testing.B) {
+	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueQuad, radio.ModelRef, 30*time.Second)
+}
+
+// --- dense-traffic family (beyond the paper; see EXPERIMENTS.md §D) ---
+
+// benchDense runs one dense-traffic simulation per iteration: tens of
+// neighbours per node and five concurrent senders put many frames in
+// every neighbourhood, the regime where reception bookkeeping
+// dominates. Batch/RxRef pairs execute bit-identical schedules
+// (TestDenseRxModelBitIdentical), so the ratio isolates the reception
+// path.
+func benchDense(b *testing.B, nodes int, degree float64, model radio.ReceptionModel, duration time.Duration) {
+	b.Helper()
+	cfg := scenario.ShortenedData(scenario.DenseConfig(nodes, degree), duration)
+	cfg.RxModel = model
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events")
+		b.ReportMetric(100*res.DeliveryRatio(), "delivery_%")
+		b.ReportMetric(res.MeanDegree, "degree")
+	}
+}
+
+func BenchmarkDense250Deg40(b *testing.B) {
+	benchDense(b, 250, 40, radio.ModelBatch, 30*time.Second)
+}
+func BenchmarkDense250Deg40RxRef(b *testing.B) {
+	benchDense(b, 250, 40, radio.ModelRef, 30*time.Second)
+}
+func BenchmarkDense500Deg60(b *testing.B) {
+	benchDense(b, 500, 60, radio.ModelBatch, 20*time.Second)
+}
+func BenchmarkDense500Deg60RxRef(b *testing.B) {
+	benchDense(b, 500, 60, radio.ModelRef, 20*time.Second)
 }
 
 // BenchmarkLargeScaleDelivery prints the delivery table for the family

@@ -6,6 +6,7 @@
 //	agbench -fig all        # everything
 //	agbench -fig 4 -seeds 10 -parallel 4
 //	agbench -fig large -duration 120s -large-max 500
+//	agbench -fig dense -dense-nodes 500 -json bench.json
 //
 // Each table prints one row per x-axis point with the Gossip and MAODV
 // mean delivery and [min, max] error bars across all members and seeds,
@@ -15,15 +16,23 @@
 // cost.
 //
 // Beyond the paper, -fig large sweeps the large-scale family (100 to
-// 1000 nodes at constant density; see EXPERIMENTS.md §L). At full
-// duration the 1000-node points take tens of minutes — shrink with
-// -duration and cap the sweep with -large-max for previews. The -index
-// flag switches the radio's neighbour index between the spatial grid
-// and the brute-force scan, and -queue switches the kernel's event
-// queue between the pooled 4-ary heap and the container/heap
-// reference; results are bit-identical either way, only wall time
-// changes. -cpuprofile/-memprofile write pprof profiles for bottleneck
-// hunts (see EXPERIMENTS.md, "Profiling workflow").
+// 1000 nodes at constant density; see EXPERIMENTS.md §L) and -fig dense
+// the dense-traffic family (mean degree 20–60 with multiple concurrent
+// senders at -dense-nodes nodes; EXPERIMENTS.md §D). At full duration
+// the 1000-node points take tens of minutes — shrink with -duration and
+// cap the sweeps with -large-max / -dense-max for previews.
+//
+// Three flags switch simulator internals on bit-identical workloads —
+// only wall time changes: -index (radio neighbour index: spatial grid
+// vs brute-force scan), -queue (kernel event queue: pooled 4-ary heap
+// vs container/heap reference) and -rxmodel (radio reception path:
+// batched per-frame receiver tables vs the per-receiver reference).
+// -cpuprofile/-memprofile write pprof profiles for bottleneck hunts
+// (see EXPERIMENTS.md, "Profiling workflow").
+//
+// -json writes the machine-readable run record — per-point delivery
+// stats, logical events, wall time and events/sec — used to track the
+// perf trajectory across PRs (the BENCH_*.json files at the repo root).
 //
 // The -protocol flag picks the stack under test by registry name (e.g.
 // -protocol flood+gossip); its bare routing protocol becomes the
@@ -33,6 +42,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -74,21 +84,108 @@ func figures() []figure {
 	}
 }
 
+// --- machine-readable run record (-json) ---
+
+// jsonAgg is one stack's aggregate at one sweep point. Sent is
+// per-stack: under overload source sends fail stack-dependently, so
+// each stack's delivery ratio needs its own denominator.
+type jsonAgg struct {
+	Mean    float64 `json:"mean"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Std     float64 `json:"std"`
+	Goodput float64 `json:"goodput"`
+	Sent    int     `json:"sent"`
+}
+
+// jsonPoint is one x-axis point of one figure.
+type jsonPoint struct {
+	X            float64 `json:"x"`
+	Treatment    jsonAgg `json:"treatment"`
+	Baseline     jsonAgg `json:"baseline"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// jsonFigure is one completed sweep.
+type jsonFigure struct {
+	Figure string      `json:"figure"`
+	Title  string      `json:"title"`
+	XName  string      `json:"x_name"`
+	Points []jsonPoint `json:"points"`
+}
+
+// jsonGoodput is one Fig. 8 goodput case.
+type jsonGoodput struct {
+	RangeM      float64 `json:"range_m"`
+	SpeedMS     float64 `json:"speed_ms"`
+	Mean        float64 `json:"mean"`
+	Min         float64 `json:"min"`
+	Max         float64 `json:"max"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// jsonReport is the full -json record: configuration axes first, so
+// perf numbers are never compared across different workloads.
+type jsonReport struct {
+	GoVersion        string        `json:"go_version"`
+	Protocol         string        `json:"protocol"`
+	Baseline         string        `json:"baseline"`
+	Index            string        `json:"index"`
+	Queue            string        `json:"queue"`
+	RxModel          string        `json:"rxmodel"`
+	Seeds            int           `json:"seeds"`
+	Duration         string        `json:"duration"`
+	Figures          []jsonFigure  `json:"figures,omitempty"`
+	Goodput          []jsonGoodput `json:"goodput_cases,omitempty"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+}
+
+// addFigure converts a sweep's rows into the report's point records.
+func (r *jsonReport) addFigure(id, title, xName string, rows []scenario.ComparisonRow) {
+	fig := jsonFigure{Figure: id, Title: title, XName: xName}
+	for _, row := range rows {
+		events := row.Gossip.Events + row.Maodv.Events
+		secs := row.Elapsed.Seconds()
+		p := jsonPoint{
+			X: row.X,
+			Treatment: jsonAgg{Mean: row.Gossip.Received.Mean, Min: row.Gossip.Received.Min,
+				Max: row.Gossip.Received.Max, Std: row.Gossip.Received.Std,
+				Goodput: row.Gossip.Goodput, Sent: row.Gossip.Sent},
+			Baseline: jsonAgg{Mean: row.Maodv.Received.Mean, Min: row.Maodv.Received.Min,
+				Max: row.Maodv.Received.Max, Std: row.Maodv.Received.Std,
+				Goodput: row.Maodv.Goodput, Sent: row.Maodv.Sent},
+			Events:      events,
+			WallSeconds: secs,
+		}
+		if secs > 0 {
+			p.EventsPerSec = float64(events) / secs
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	r.Figures = append(r.Figures, fig)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("agbench", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "figure to regenerate: 2..8, large, or all")
+		fig   = fs.String("fig", "all", "figure to regenerate: 2..8, large, dense, or all")
 		proto = fs.String("protocol", "maodv+gossip",
 			"stack under test by registry name ("+strings.Join(stack.Names(), " | ")+
 				"); its bare routing is the comparison baseline")
-		seeds    = fs.Int("seeds", 3, "seeds per point (paper: 10)")
-		parallel = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
-		duration = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
-		index    = fs.String("index", "grid", "radio neighbour index: grid | brute")
-		queue    = fs.String("queue", "quad", "scheduler event queue: quad | ref")
-		largeMax = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		seeds      = fs.Int("seeds", 3, "seeds per point (paper: 10)")
+		parallel   = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
+		duration   = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
+		index      = fs.String("index", "grid", "radio neighbour index: grid | brute")
+		queue      = fs.String("queue", "quad", "scheduler event queue: quad | ref")
+		rxmodel    = fs.String("rxmodel", "batch", "radio reception model: batch | ref")
+		largeMax   = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
+		denseNodes = fs.Int("dense-nodes", scenario.DenseNodes, "node count of the -fig dense sweep")
+		denseMax   = fs.Int("dense-max", 60, "largest target degree of the -fig dense sweep")
+		jsonPath   = fs.String("json", "", "write a machine-readable result record to this file")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +223,16 @@ func run(args []string) error {
 		return fmt.Errorf("invalid -queue %q (want quad or ref)", *queue)
 	}
 
+	var rxModel radio.ReceptionModel
+	switch *rxmodel {
+	case "batch":
+		rxModel = radio.ModelBatch
+	case "ref":
+		rxModel = radio.ModelRef
+	default:
+		return fmt.Errorf("invalid -rxmodel %q (want batch or ref)", *rxmodel)
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -153,7 +260,7 @@ func run(args []string) error {
 	}
 
 	want := map[int]bool{}
-	wantLarge := false
+	wantLarge, wantDense := false, false
 	switch *fig {
 	case "all":
 		for i := 2; i <= 8; i++ {
@@ -161,10 +268,12 @@ func run(args []string) error {
 		}
 	case "large":
 		wantLarge = true
+	case "dense":
+		wantDense = true
 	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || n < 2 || n > 8 {
-			return fmt.Errorf("invalid -fig %q (want 2..8, large, or all)", *fig)
+			return fmt.Errorf("invalid -fig %q (want 2..8, large, dense, or all)", *fig)
 		}
 		want[n] = true
 	}
@@ -173,6 +282,7 @@ func run(args []string) error {
 	base.Stack = treatment // Fig. 8 goodput follows the stack under test
 	base.RadioIndex = radioIndex
 	base.EventQueue = queueKind
+	base.RxModel = rxModel
 	if *duration != base.Duration {
 		// Below ~a minute the paper's warm-up/cool-down proportions are
 		// gone and any table would be noise.
@@ -184,25 +294,50 @@ func run(args []string) error {
 	seedList := scenario.Seeds(*seeds)
 	start := time.Now()
 
-	for _, f := range figures() {
-		if !want[f.id] {
-			continue
-		}
-		fmt.Printf("=== Figure %d: %s ===\n", f.id, f.title)
-		fmt.Printf("(%d seeds, %d packets sent per run)\n", len(seedList), base.ExpectedPackets())
-		fmt.Printf("%-10s | %28s | %28s\n", f.xName, treatCol, baseCol)
-		rows, err := scenario.RunComparisonStacks(base, f.xs, f.apply, seedList, *parallel, nil,
+	report := &jsonReport{
+		GoVersion: runtime.Version(),
+		Protocol:  treatment.String(),
+		Baseline:  baseline.String(),
+		Index:     radioIndex.String(),
+		Queue:     queueKind.String(),
+		RxModel:   rxModel.String(),
+		Seeds:     *seeds,
+		Duration:  base.Duration.String(),
+	}
+
+	// runSweep executes one x-axis sweep: print the table, record the
+	// JSON figure. Every family (paper figures, large, dense) funnels
+	// through it so the format and the record stay in lockstep.
+	runSweep := func(id, title, xName, xFmt, note string, xs []float64, cfg scenario.Config,
+		apply func(scenario.Config, float64) scenario.Config) error {
+		fmt.Printf("=== %s ===\n", title)
+		fmt.Printf("(%d seeds, %d packets sent %s)\n", len(seedList), cfg.ExpectedPackets(), note)
+		fmt.Printf("%-10s | %28s | %28s\n", xName, treatCol, baseCol)
+		rows, err := scenario.RunComparisonStacks(cfg, xs, apply, seedList, *parallel, nil,
 			treatment, baseline)
 		if err != nil {
 			return err
 		}
 		for _, r := range rows {
-			fmt.Printf("%-10.1f | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
+			fmt.Printf(xFmt+" | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
 				r.X,
 				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max, r.Gossip.Received.Std,
 				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max, r.Maodv.Received.Std)
 		}
 		fmt.Println()
+		report.addFigure(id, title, xName, rows)
+		return nil
+	}
+	internals := fmt.Sprintf("%s index, %s rxmodel", *index, *rxmodel)
+
+	for _, f := range figures() {
+		if !want[f.id] {
+			continue
+		}
+		if err := runSweep(strconv.Itoa(f.id), fmt.Sprintf("Figure %d: %s", f.id, f.title),
+			f.xName, "%-10.1f", "per run", f.xs, base, f.apply); err != nil {
+			return err
+		}
 	}
 
 	if wantLarge {
@@ -215,37 +350,67 @@ func run(args []string) error {
 		if len(xs) == 0 {
 			return fmt.Errorf("-large-max %d excludes every sweep point", *largeMax)
 		}
-		fmt.Println("=== Large scale: Packet Delivery vs Number of Nodes (constant density, 75 m range) ===")
-		fmt.Printf("(%d seeds, %d packets sent per run, %s index)\n", len(seedList), base.ExpectedPackets(), *index)
-		fmt.Printf("%-10s | %28s | %28s\n", "nodes", treatCol, baseCol)
-		rows, err := scenario.RunComparisonStacks(base, xs, scenario.ApplyLargeScale, seedList, *parallel, nil,
-			treatment, baseline)
-		if err != nil {
+		if err := runSweep("large",
+			"Large scale: Packet Delivery vs Number of Nodes (constant density, 75 m range)",
+			"nodes", "%-10.0f", "per run, "+internals, xs, base, scenario.ApplyLargeScale); err != nil {
 			return err
 		}
-		for _, r := range rows {
-			fmt.Printf("%-10.0f | %8.1f [%5.0f,%5.0f] (%5.1f) | %8.1f [%5.0f,%5.0f] (%5.1f)\n",
-				r.X,
-				r.Gossip.Received.Mean, r.Gossip.Received.Min, r.Gossip.Received.Max, r.Gossip.Received.Std,
-				r.Maodv.Received.Mean, r.Maodv.Received.Min, r.Maodv.Received.Max, r.Maodv.Received.Std)
+	}
+
+	if wantDense {
+		var xs []float64
+		for _, x := range scenario.DenseXs() {
+			if x <= float64(*denseMax) {
+				xs = append(xs, x)
+			}
 		}
-		fmt.Println()
+		if len(xs) == 0 {
+			return fmt.Errorf("-dense-max %d excludes every sweep point", *denseMax)
+		}
+		dbase := base
+		dbase.Nodes = *denseNodes
+		dbase.NumSources = scenario.DenseSources
+		title := fmt.Sprintf("Dense traffic: Packet Delivery vs Mean Degree (%d nodes, %d sources, 75 m range)",
+			*denseNodes, scenario.DenseSources)
+		if err := runSweep("dense", title, "degree", "%-10.0f",
+			"per source per run, "+internals, xs, dbase, scenario.ApplyDense); err != nil {
+			return err
+		}
 	}
 
 	if want[8] {
 		fmt.Println("=== Figure 8: Goodput at group members ===")
 		fmt.Printf("%-18s | %10s %8s %8s\n", "case", "mean", "min", "max")
 		for _, gc := range scenario.Fig8Cases() {
+			caseStart := time.Now()
 			row, err := scenario.RunGoodput(base, gc, seedList, *parallel)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%4.0fm, %3.1fm/s      | %9.2f%% %7.2f%% %7.2f%%\n",
 				gc.TxRange, gc.MaxSpeed, row.Summary.Mean, row.Summary.Min, row.Summary.Max)
+			report.Goodput = append(report.Goodput, jsonGoodput{
+				RangeM: gc.TxRange, SpeedMS: gc.MaxSpeed,
+				Mean: row.Summary.Mean, Min: row.Summary.Min, Max: row.Summary.Max,
+				WallSeconds: time.Since(caseStart).Seconds(),
+			})
 		}
 		fmt.Println()
 	}
 
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+	total := time.Since(start)
+	fmt.Printf("total wall time: %v\n", total.Round(time.Second))
+
+	if *jsonPath != "" {
+		report.TotalWallSeconds = total.Seconds()
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	return nil
 }

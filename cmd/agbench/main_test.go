@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -41,6 +42,44 @@ func TestRunStackProtocolFlag(t *testing.T) {
 	}
 }
 
+// TestRunDenseAndJSON drives the dense-traffic sweep with the reference
+// reception model and the -json record: the sweep must complete and the
+// record must parse with the configuration axes and per-point perf
+// numbers filled in.
+func TestRunDenseAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-fig", "dense", "-dense-nodes", "100", "-dense-max", "20",
+		"-seeds", "1", "-duration", "75s", "-rxmodel", "ref", "-json", path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json record not written: %v", err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("json record does not parse: %v", err)
+	}
+	if rep.RxModel != "ref" || rep.Index != "grid" || rep.Seeds != 1 {
+		t.Fatalf("record axes wrong: %+v", rep)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].Figure != "dense" || len(rep.Figures[0].Points) != 1 {
+		t.Fatalf("record figures wrong: %+v", rep.Figures)
+	}
+	p := rep.Figures[0].Points[0]
+	if p.X != 20 || p.Treatment.Sent == 0 || p.Baseline.Sent == 0 ||
+		p.Events == 0 || p.WallSeconds <= 0 || p.EventsPerSec <= 0 {
+		t.Fatalf("record point incomplete: %+v", p)
+	}
+	if rep.TotalWallSeconds <= 0 {
+		t.Fatalf("total wall time missing: %+v", rep)
+	}
+}
+
 func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-fig", "1"}); err == nil {
 		t.Fatal("figure 1 accepted (paper has no such experiment)")
@@ -60,8 +99,14 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-queue", "fibonacci"}); err == nil {
 		t.Fatal("unknown queue kind accepted")
 	}
+	if err := run([]string{"-rxmodel", "psychic"}); err == nil {
+		t.Fatal("unknown reception model accepted")
+	}
 	if err := run([]string{"-fig", "large", "-large-max", "50"}); err == nil {
 		t.Fatal("empty large sweep accepted")
+	}
+	if err := run([]string{"-fig", "dense", "-dense-max", "10"}); err == nil {
+		t.Fatal("empty dense sweep accepted")
 	}
 	if err := run([]string{"-protocol", "carrier-pigeon"}); err == nil {
 		t.Fatal("unknown stack accepted")

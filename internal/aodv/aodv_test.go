@@ -37,7 +37,10 @@ func buildWorld(t *testing.T, positions []geom.Point, models ...mobility.Model) 
 			m = models[i]
 		}
 		id := pkt.NodeID(i + 1)
-		st := node.New(w.sched, rng.Derive(id.String()), w.medium, id, m, mac.DefaultConfig())
+		st, err := node.New(w.sched, rng.Derive(id.String()), w.medium, id, m, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		r := New(st, rng.Derive("aodv/"+id.String()), DefaultConfig())
 		st.Handle(pkt.KindGossipRep, func(p *pkt.Packet, from pkt.NodeID) { w.rxs[i]++ })
 		r.Start()

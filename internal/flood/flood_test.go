@@ -39,8 +39,11 @@ func buildF(t *testing.T, positions []geom.Point, members []int) *fworld {
 	for i, p := range positions {
 		i := i
 		id := pkt.NodeID(i + 1)
-		st := node.New(w.sched, rng.Derive(id.String()), medium, id,
+		st, err := node.New(w.sched, rng.Derive(id.String()), medium, id,
 			mobility.Static{P: p}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		st.SetRouter(nullRouter{})
 		r := New(st, rng.Derive("f/"+id.String()), DefaultConfig())
 		if isMember[i] {
@@ -135,7 +138,10 @@ func TestFloodCacheBounded(t *testing.T) {
 	sched := sim.NewScheduler()
 	medium := radio.NewMedium(sched, radio.Params{Range: 60})
 	rng := sim.NewRNG(1)
-	st := node.New(sched, rng, medium, 1, mobility.Static{}, mac.DefaultConfig())
+	st, err := node.New(sched, rng, medium, 1, mobility.Static{}, mac.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	st.SetRouter(nullRouter{})
 	r := New(st, rng.Derive("f"), cfg)
 	r.Join(group)

@@ -47,8 +47,11 @@ func buildLine(t *testing.T, n int, members []int, cfg Config) *gworld {
 	}
 	for i := 0; i < n; i++ {
 		id := pkt.NodeID(i + 1)
-		st := node.New(w.sched, rng.Derive("n/"+id.String()), medium, id,
+		st, err := node.New(w.sched, rng.Derive("n/"+id.String()), medium, id,
 			mobility.Static{P: geom.Point{X: float64(i) * 50}}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		uni := aodv.New(st, rng.Derive("a/"+id.String()), aodv.DefaultConfig())
 		uni.Start()
 

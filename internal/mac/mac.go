@@ -183,9 +183,10 @@ type DCF struct {
 }
 
 // New attaches a MAC entity for node id to the medium. pos supplies the
-// node's mobility model to the radio layer.
+// node's mobility model to the radio layer. It fails when the medium
+// already has a transceiver for id (radio.ErrDuplicateNode).
 func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID,
-	pos mobility.Model, cfg Config, cb Callbacks) *DCF {
+	pos mobility.Model, cfg Config, cb Callbacks) (*DCF, error) {
 	d := &DCF{
 		id:      id,
 		cfg:     cfg,
@@ -194,8 +195,12 @@ func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID
 		cb:      cb,
 		lastSeq: make(map[pkt.NodeID]uint16),
 	}
-	d.tr = medium.Attach(id, pos, d.onRadio)
-	return d
+	tr, err := medium.Attach(id, pos, d.onRadio)
+	if err != nil {
+		return nil, err
+	}
+	d.tr = tr
+	return d, nil
 }
 
 // ID returns the node ID.

@@ -39,8 +39,11 @@ func newHarnessCfg(t *testing.T, rangeM float64, positions []geom.Point, cfg Con
 				h.dones[i] = append(h.dones[i], sendDone{p: p, to: to, ok: ok})
 			},
 		}
-		m := New(h.sched, rng.Derive(id.String()), h.medium, id,
+		m, err := New(h.sched, rng.Derive(id.String()), h.medium, id,
 			mobility.Static{P: p}, cfg, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
 		h.macs = append(h.macs, m)
 	}
 	return h

@@ -1,0 +1,110 @@
+package mac
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"anongossip/internal/geom"
+	"anongossip/internal/mobility"
+	"anongossip/internal/pkt"
+	"anongossip/internal/radio"
+	"anongossip/internal/sim"
+)
+
+// macTrace is everything a MAC-level run observes: per-node delivery
+// and completion logs plus MAC and channel counters.
+type macTrace struct {
+	rxs    [][]string
+	dones  [][]string
+	stats  []Stats
+	radio  radio.Stats
+	events uint64
+}
+
+// runMACWorkload drives a contended five-node topology — hidden
+// terminals at the ends, everyone backing off against everyone — with
+// interleaved unicast chains and broadcasts, and records every
+// observable outcome. The workload forces the full DCF repertoire:
+// carrier-sense deferral, backoff, ACK loss and retries, duplicate
+// filtering, and retry exhaustion.
+func runMACWorkload(t *testing.T, model radio.ReceptionModel) macTrace {
+	t.Helper()
+	sched := sim.NewScheduler()
+	medium := radio.NewMedium(sched, radio.Params{Range: 60, Model: model})
+	rng := sim.NewRNG(42)
+	// 0-1-2-3-4 in a line, 50 m apart with 60 m range: each node hears
+	// only its direct neighbours, so the ends are hidden from the
+	// middle's peers.
+	positions := []geom.Point{{X: 0}, {X: 50}, {X: 100}, {X: 150}, {X: 200}}
+	tr := macTrace{rxs: make([][]string, len(positions)), dones: make([][]string, len(positions))}
+	macs := make([]*DCF, len(positions))
+	for i, p := range positions {
+		i := i
+		cb := Callbacks{
+			OnReceive: func(p *pkt.Packet, from pkt.NodeID, broadcast bool) {
+				tr.rxs[i] = append(tr.rxs[i], fmt.Sprintf("@%v from=%v bcast=%v kind=%v", sched.Now(), from, broadcast, p.Kind))
+			},
+			OnSendDone: func(p *pkt.Packet, to pkt.NodeID, ok bool) {
+				tr.dones[i] = append(tr.dones[i], fmt.Sprintf("@%v to=%v ok=%v", sched.Now(), to, ok))
+			},
+		}
+		m, err := New(sched, rng.Derive(fmt.Sprintf("mac/%d", i)), medium, pkt.NodeID(i+1),
+			mobility.Static{P: p}, DefaultConfig(), cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		macs[i] = m
+	}
+
+	hello := func(src, dst pkt.NodeID) *pkt.Packet { return pkt.NewPacket(src, dst, &pkt.Hello{Seq: 1}) }
+	for k := 0; k < 40; k++ {
+		k := k
+		at := time.Duration(k) * 400 * time.Microsecond
+		sched.At(at, func() {
+			switch k % 4 {
+			case 0: // unicast chains from both ends (hidden from each other)
+				macs[0].Send(hello(1, 2), 2)
+				macs[4].Send(hello(5, 4), 4)
+			case 1: // broadcasts from the middle
+				macs[2].Send(hello(3, pkt.Broadcast), pkt.Broadcast)
+			case 2: // crossing unicasts on the same link
+				macs[1].Send(hello(2, 3), 3)
+				macs[3].Send(hello(4, 3), 3)
+			case 3: // unicast to an unreachable node: retry exhaustion
+				macs[0].Send(hello(1, 5), 5)
+			}
+		})
+	}
+	sched.Run(2 * time.Second)
+	for _, m := range macs {
+		tr.stats = append(tr.stats, m.Stats())
+	}
+	tr.radio = medium.Stats()
+	tr.events = sched.Processed() + medium.ElidedEvents()
+	return tr
+}
+
+// TestMACIdenticalAcrossRxModels re-verifies the MAC's carrier-sense
+// and retry interplay with the radio over both reception models: every
+// delivery, completion, counter and the logical event total must be
+// identical, and the workload must actually have exercised collisions
+// and retries.
+func TestMACIdenticalAcrossRxModels(t *testing.T) {
+	batch := runMACWorkload(t, radio.ModelBatch)
+	ref := runMACWorkload(t, radio.ModelRef)
+	if !reflect.DeepEqual(batch, ref) {
+		t.Fatalf("MAC observations diverge across reception models:\nbatch: %+v\nref:   %+v", batch, ref)
+	}
+	var retries, failures, delivered uint64
+	for _, s := range batch.stats {
+		retries += s.Retries
+		failures += s.Failures
+		delivered += s.Delivered
+	}
+	if delivered == 0 || retries == 0 || failures == 0 || batch.radio.Collisions == 0 {
+		t.Fatalf("workload too tame to re-verify the interplay: delivered=%d retries=%d failures=%d collisions=%d",
+			delivered, retries, failures, batch.radio.Collisions)
+	}
+}

@@ -57,8 +57,11 @@ func buildM(t *testing.T, rangeM float64, positions []geom.Point) *mworld {
 	for i := range positions {
 		i := i
 		id := pkt.NodeID(i + 1)
-		st := node.New(w.sched, rng.Derive("n/"+id.String()), w.medium, id,
+		st, err := node.New(w.sched, rng.Derive("n/"+id.String()), w.medium, id,
 			movable{p: positions[i], moved: &w.moved[i]}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		uni := aodv.New(st, rng.Derive("a/"+id.String()), aodv.DefaultConfig())
 		mr := New(st, uni, rng.Derive("m/"+id.String()), fastConfig())
 		w.delivered = append(w.delivered, map[pkt.SeqKey]int{})

@@ -79,18 +79,25 @@ type Stack struct {
 }
 
 // New builds a node stack, attaching a MAC entity on medium for node id.
+// It fails when the medium already has a transceiver for id — a
+// misconfigured scenario (duplicate node IDs) must fail loudly rather
+// than silently sharing a radio.
 func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID,
-	pos mobility.Model, macCfg mac.Config) *Stack {
+	pos mobility.Model, macCfg mac.Config) (*Stack, error) {
 	s := &Stack{
 		id:       id,
 		sched:    sched,
 		handlers: make(map[pkt.Kind]Handler),
 	}
-	s.dcf = mac.New(sched, rng.Derive(fmt.Sprintf("mac/%d", id)), medium, id, pos, macCfg, mac.Callbacks{
+	dcf, err := mac.New(sched, rng.Derive(fmt.Sprintf("mac/%d", id)), medium, id, pos, macCfg, mac.Callbacks{
 		OnReceive:  s.onReceive,
 		OnSendDone: s.onSendDone,
 	})
-	return s
+	if err != nil {
+		return nil, err
+	}
+	s.dcf = dcf
+	return s, nil
 }
 
 // ID returns the node's address.

@@ -41,8 +41,11 @@ func line(t *testing.T, n int) *env {
 	rng := sim.NewRNG(99)
 	for i := 0; i < n; i++ {
 		id := pkt.NodeID(i + 1)
-		st := New(e.sched, rng, e.medium, id,
+		st, err := New(e.sched, rng, e.medium, id,
 			mobility.Static{P: geom.Point{X: float64(i) * 50}}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		r := &staticRouter{table: map[pkt.NodeID]pkt.NodeID{}}
 		st.SetRouter(r)
 		e.stacks = append(e.stacks, st)

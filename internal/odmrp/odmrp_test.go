@@ -40,8 +40,11 @@ func buildO(t *testing.T, positions []geom.Point, members []int) *oworld {
 	for i, p := range positions {
 		i := i
 		id := pkt.NodeID(i + 1)
-		st := node.New(w.sched, rng.Derive(id.String()), medium, id,
+		st, err := node.New(w.sched, rng.Derive(id.String()), medium, id,
 			mobility.Static{P: p}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		st.SetRouter(nullRouter{})
 		r := New(st, rng.Derive("o/"+id.String()), DefaultConfig())
 		if isMember[i] {
@@ -143,8 +146,11 @@ func TestGossipOverODMRP(t *testing.T) {
 	members := map[int]bool{0: true, 3: true}
 	for i, p := range positions {
 		id := pkt.NodeID(i + 1)
-		st := node.New(sched, rng.Derive(id.String()), medium, id,
+		st, err := node.New(sched, rng.Derive(id.String()), medium, id,
 			mobility.Static{P: p}, mac.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Gossip replies are unicast: AODV supplies the routes, exactly
 		// as in the MAODV deployment.
 		uni := aodv.New(st, rng.Derive("a/"+id.String()), aodv.DefaultConfig())

@@ -28,9 +28,9 @@ type fuzzWorld struct {
 	log   []string
 }
 
-func newFuzzWorld(kind IndexKind, seed int64, n int, area geom.Rect, maxSpeed float64) *fuzzWorld {
+func newFuzzWorld(kind IndexKind, model ReceptionModel, seed int64, n int, area geom.Rect, maxSpeed float64) *fuzzWorld {
 	w := &fuzzWorld{sched: sim.NewScheduler()}
-	w.m = NewMedium(w.sched, Params{Range: 75, Index: kind})
+	w.m = NewMedium(w.sched, Params{Range: 75, Index: kind, Model: model})
 	root := sim.NewRNG(seed)
 	for i := 0; i < n; i++ {
 		i := i
@@ -43,9 +43,12 @@ func newFuzzWorld(kind IndexKind, seed int64, n int, area geom.Rect, maxSpeed fl
 			mob = unboundedModel{m: mob}
 		}
 		id := pkt.NodeID(i + 1)
-		tr := w.m.Attach(id, mob, func(frame any, from pkt.NodeID, ok bool) {
+		tr, err := w.m.Attach(id, mob, func(frame any, from pkt.NodeID, ok bool) {
 			w.log = append(w.log, fmt.Sprintf("rx@%v node=%d frame=%v from=%d ok=%v", w.sched.Now(), id, frame, from, ok))
 		})
+		if err != nil {
+			panic(err)
+		}
 		w.trs = append(w.trs, tr)
 	}
 	return w
@@ -97,8 +100,8 @@ func TestGridMatchesBruteUnderRandomMobility(t *testing.T) {
 			})
 		}
 
-		grid := newFuzzWorld(IndexGrid, seed, nNodes, area, 10)
-		brute := newFuzzWorld(IndexBrute, seed, nNodes, area, 10)
+		grid := newFuzzWorld(IndexGrid, ModelBatch, seed, nNodes, area, 10)
+		brute := newFuzzWorld(IndexBrute, ModelBatch, seed, nNodes, area, 10)
 		grid.schedule(ops)
 		brute.schedule(ops)
 		grid.sched.Run(250 * time.Second)
@@ -136,7 +139,7 @@ func TestGridNeighborsMatchBruteStatic(t *testing.T) {
 		sched := sim.NewScheduler()
 		m := NewMedium(sched, Params{Range: 75, Index: kind})
 		for i, p := range positions {
-			m.Attach(pkt.NodeID(i+1), mobility.Static{P: p}, nil)
+			attach(t, m, pkt.NodeID(i+1), mobility.Static{P: p}, nil)
 		}
 		mediums = append(mediums, m)
 	}
@@ -154,19 +157,19 @@ func TestGridNeighborsMatchBruteStatic(t *testing.T) {
 
 // benchMedium builds n uniformly placed slow waypoint nodes on a field
 // sized for constant density (the large-scale family's regime).
-func benchMedium(b *testing.B, kind IndexKind, n int) (*sim.Scheduler, []*Transceiver) {
+func benchMedium(b *testing.B, kind IndexKind, model ReceptionModel, n int) (*sim.Scheduler, []*Transceiver) {
 	b.Helper()
 	side := 200 * math.Sqrt(float64(n)/40) // density-preserving: side² ∝ n
 	area := geom.Rect{W: side, H: side}
 	sched := sim.NewScheduler()
-	m := NewMedium(sched, Params{Range: 75, Index: kind})
+	m := NewMedium(sched, Params{Range: 75, Index: kind, Model: model})
 	root := sim.NewRNG(7)
 	trs := make([]*Transceiver, n)
 	for i := 0; i < n; i++ {
 		mob := mobility.NewWaypoint(mobility.WaypointConfig{
 			Area: area, MaxSpeed: 0.2, MaxPause: 80 * time.Second,
 		}, root.Derive(fmt.Sprintf("mob/%d", i)))
-		trs[i] = m.Attach(pkt.NodeID(i+1), mob, nil)
+		trs[i] = attach(b, m, pkt.NodeID(i+1), mob, nil)
 	}
 	return sched, trs
 }
@@ -174,8 +177,8 @@ func benchMedium(b *testing.B, kind IndexKind, n int) (*sim.Scheduler, []*Transc
 // benchStartTx measures the radio hot path in isolation: repeated
 // transmissions from rotating nodes, each scheduling receptions for its
 // in-range neighbours, plus the carrier sensing the MAC would do.
-func benchStartTx(b *testing.B, kind IndexKind, n int) {
-	sched, trs := benchMedium(b, kind, n)
+func benchStartTx(b *testing.B, kind IndexKind, model ReceptionModel, n int) {
+	sched, trs := benchMedium(b, kind, model, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr := trs[i%n]
@@ -188,13 +191,18 @@ func benchStartTx(b *testing.B, kind IndexKind, n int) {
 	sched.Run(sched.Now() + time.Second)
 }
 
-func BenchmarkStartTx250Grid(b *testing.B)   { benchStartTx(b, IndexGrid, 250) }
-func BenchmarkStartTx250Brute(b *testing.B)  { benchStartTx(b, IndexBrute, 250) }
-func BenchmarkStartTx1000Grid(b *testing.B)  { benchStartTx(b, IndexGrid, 1000) }
-func BenchmarkStartTx1000Brute(b *testing.B) { benchStartTx(b, IndexBrute, 1000) }
+func BenchmarkStartTx250Grid(b *testing.B)   { benchStartTx(b, IndexGrid, ModelBatch, 250) }
+func BenchmarkStartTx250Brute(b *testing.B)  { benchStartTx(b, IndexBrute, ModelBatch, 250) }
+func BenchmarkStartTx1000Grid(b *testing.B)  { benchStartTx(b, IndexGrid, ModelBatch, 1000) }
+func BenchmarkStartTx1000Brute(b *testing.B) { benchStartTx(b, IndexBrute, ModelBatch, 1000) }
+
+// The RxRef variants isolate the reception path against the batched
+// default on the same grid index.
+func BenchmarkStartTx250GridRxRef(b *testing.B)  { benchStartTx(b, IndexGrid, ModelRef, 250) }
+func BenchmarkStartTx1000GridRxRef(b *testing.B) { benchStartTx(b, IndexGrid, ModelRef, 1000) }
 
 func benchNeighbors(b *testing.B, kind IndexKind, n int) {
-	_, trs := benchMedium(b, kind, n)
+	_, trs := benchMedium(b, kind, ModelBatch, n)
 	m := trs[0].medium
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,40 @@
+package radio
+
+// ReceptionModel selects the reception bookkeeping implementation
+// backing a Medium. Both models simulate the identical channel — the
+// same frames are delivered or corrupted at the same times, in the same
+// handler order — and differ only in how that outcome is computed.
+type ReceptionModel int
+
+const (
+	// ModelBatch (the default) keeps a per-frame receiver table: value
+	// reception entries in a slice owned by a pooled transmission
+	// record, referencing receivers by attach index. A single finish
+	// event per transmission walks the table in attach order, so a
+	// broadcast costs one timer push instead of one per receiver, and
+	// the per-receiver reception allocations of the reference model
+	// disappear. Collision and half-duplex state lives in O(1)
+	// per-transceiver counters (receptions in flight, time of the last
+	// interference) instead of scans over live reception lists.
+	ModelBatch ReceptionModel = iota
+	// ModelRef is the original implementation: one heap-allocated
+	// reception and one scheduled finish event per receiver per frame,
+	// with collision state maintained by scanning each receiver's live
+	// reception list. It is retained as the reference for differential
+	// testing, mirroring the grid/brute neighbour-index and quad/ref
+	// event-queue precedents. Both models produce bit-identical
+	// simulations for the same seed.
+	ModelRef
+)
+
+// String names the reception model for benchmarks and logs.
+func (m ReceptionModel) String() string {
+	switch m {
+	case ModelBatch:
+		return "batch"
+	case ModelRef:
+		return "ref"
+	default:
+		return "ReceptionModel(?)"
+	}
+}

@@ -12,6 +12,11 @@
 //
 // It deliberately omits SINR/capture effects: any overlap corrupts. This
 // is the same granularity as GloMoSim's default no-capture configuration.
+//
+// Reception bookkeeping is pluggable (see ReceptionModel): the default
+// batched model schedules one finish event per transmission and walks a
+// per-frame receiver table; the reference model schedules one event per
+// receiver. Both produce bit-identical simulations.
 package radio
 
 import (
@@ -31,6 +36,10 @@ type Params struct {
 	// Index selects the neighbour lookup strategy (default IndexGrid;
 	// see IndexKind). Both strategies produce bit-identical simulations.
 	Index IndexKind
+	// Model selects the reception bookkeeping implementation (default
+	// ModelBatch; see ReceptionModel). Both models produce bit-identical
+	// simulations.
+	Model ReceptionModel
 }
 
 // Stats aggregates channel-level counters for the whole medium.
@@ -48,7 +57,10 @@ type Stats struct {
 // to StartTx; ok is false when the reception was corrupted.
 type Handler func(frame any, from pkt.NodeID, ok bool)
 
-// transmission is one frame on the air.
+// transmission is one frame on the air. Records are pooled by the
+// medium: a transmission is recycled once its finish processing — the
+// table walk under ModelBatch, the RemoveTx event under ModelRef — has
+// completed, at which point nothing references it any more.
 type transmission struct {
 	from   *Transceiver
 	frame  any
@@ -59,9 +71,26 @@ type transmission struct {
 	// position in its active slice); unused by the brute-force index.
 	indexID int
 	slot    int
+	// recvs is the batched model's receiver table: one value entry per
+	// in-range receiver, in attach order, built at StartTx and walked
+	// by the single finish event. Unused by ModelRef, which tracks
+	// receptions on the receivers instead. The slice's capacity
+	// survives pooling, so steady-state transmissions allocate nothing.
+	recvs []recvEntry
 }
 
-// reception tracks one frame arriving at one transceiver.
+// recvEntry is one receiver-table row: the receiver by attach index
+// (indices, not pointers, keep the table a flat pointer-light value
+// slice) plus the corruption verdict already known when the
+// transmission started. Interference that happens while the frame is in
+// the air is detected at finish time from the receiver's counters.
+type recvEntry struct {
+	rcv       int32
+	corrupted bool
+}
+
+// reception tracks one frame arriving at one transceiver (ModelRef
+// only; ModelBatch keeps value entries in transmission.recvs instead).
 type reception struct {
 	tx        *transmission
 	corrupted bool
@@ -75,6 +104,12 @@ type Medium struct {
 	byID   map[pkt.NodeID]*Transceiver
 	index  NeighborIndex
 	stats  Stats
+
+	// txFree pools transmission records (and their receiver tables).
+	txFree []*transmission
+	// elided counts the per-receiver finish events the batched model
+	// folded into per-frame events; see ElidedEvents.
+	elided uint64
 }
 
 // NewMedium creates a channel managed by sched. Unless Params.Index
@@ -97,16 +132,60 @@ func (m *Medium) Stats() Stats { return m.stats }
 // Range returns the configured transmission radius in metres.
 func (m *Medium) Range() float64 { return m.params.Range }
 
-// Attach registers a transceiver for a node. The handler is invoked at the
-// end of each reception. Handlers run inside the simulation event loop.
-func (m *Medium) Attach(id pkt.NodeID, pos mobility.Model, h Handler) *Transceiver {
-	t := &Transceiver{id: id, medium: m, pos: pos, handler: h}
-	m.nodes = append(m.nodes, t)
-	if _, dup := m.byID[id]; !dup {
-		m.byID[id] = t
+// Model returns the reception model backing the medium.
+func (m *Medium) Model() ReceptionModel { return m.params.Model }
+
+// ElidedEvents returns the number of per-receiver reception events the
+// batched model folded into per-frame finish events. Adding it to the
+// scheduler's processed count yields the logical event total — the
+// number of events the reference model executes for the same run —
+// which keeps event-count metrics comparable (and golden digests
+// stable) across reception models. It is zero under ModelRef.
+func (m *Medium) ElidedEvents() uint64 { return m.elided }
+
+// ErrDuplicateNode reports an Attach with a node ID that is already
+// attached to the medium. Node IDs key handler dispatch and per-node
+// statistics, so a duplicate always indicates a misconfigured scenario.
+var ErrDuplicateNode = errors.New("radio: node already attached")
+
+// Attach registers a transceiver for a node. The handler is invoked at
+// the end of each reception. Handlers run inside the simulation event
+// loop. Attaching the same node ID twice fails with ErrDuplicateNode.
+func (m *Medium) Attach(id pkt.NodeID, pos mobility.Model, h Handler) (*Transceiver, error) {
+	if _, dup := m.byID[id]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
+	t := &Transceiver{
+		id: id, medium: m, pos: pos, handler: h,
+		idx: int32(len(m.nodes)),
+		// lastInterference must predate every possible transmission
+		// start; simulation time is never negative.
+		lastInterference: -1,
+	}
+	m.nodes = append(m.nodes, t)
+	m.byID[id] = t
 	m.index.Attach(t)
-	return t
+	return t, nil
+}
+
+// acquireTx pops a pooled transmission record (or allocates the pool's
+// first occupants).
+func (m *Medium) acquireTx() *transmission {
+	n := len(m.txFree)
+	if n == 0 {
+		return &transmission{}
+	}
+	tx := m.txFree[n-1]
+	m.txFree = m.txFree[:n-1]
+	return tx
+}
+
+// releaseTx recycles a finished transmission, dropping its references
+// so pooled records pin neither frames nor transceivers.
+func (m *Medium) releaseTx(tx *transmission) {
+	tx.from, tx.frame = nil, nil
+	tx.recvs = tx.recvs[:0]
+	m.txFree = append(m.txFree, tx)
 }
 
 // ErrAlreadyTransmitting reports a StartTx while a previous transmission
@@ -120,9 +199,25 @@ type Transceiver struct {
 	medium  *Medium
 	pos     mobility.Model
 	handler Handler
+	// idx is the attach-order position in medium.nodes; receiver tables
+	// reference transceivers by this index.
+	idx int32
 
-	txEnd      sim.Time // end of own in-flight transmission, 0 if idle
+	txEnd sim.Time // end of own in-flight transmission, 0 if idle
+
+	// receptions is the ModelRef live-reception list.
 	receptions []*reception
+
+	// ModelBatch collision state. rxInFlight counts receptions whose
+	// finish walk has not yet processed them. lastInterference is the
+	// time of the most recent interference event at this node — another
+	// reception starting, or this node starting to transmit, while
+	// receptions were in flight. A reception spanning [start, end] is
+	// corrupted iff it was corrupted at start or lastInterference ≥
+	// start by the time the finish walk reaches it; both updates are
+	// O(1), replacing ModelRef's scans over the live reception list.
+	rxInFlight       int32
+	lastInterference sim.Time
 
 	// Per-node counters.
 	sent      uint64
@@ -186,13 +281,97 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 		return fmt.Errorf("radio: non-positive airtime %v", airtime)
 	}
 
-	origin := t.pos.Position(now)
-	tx := &transmission{from: t, frame: frame, start: now, end: now + airtime, origin: origin}
+	tx := m.acquireTx()
+	tx.from, tx.frame = t, frame
+	tx.start, tx.end = now, now+airtime
+	tx.origin = t.pos.Position(now)
 	m.index.AddTx(tx)
 	m.stats.Transmissions++
 	t.sent++
 	t.txEnd = tx.end
 
+	if m.params.Model == ModelRef {
+		t.startTxRef(tx, now)
+	} else {
+		t.startTxBatch(tx, now)
+	}
+	return nil
+}
+
+// startTxBatch builds the per-frame receiver table and schedules the
+// single finish event that will walk it. The index yields a
+// position-superset in attach order; the exact unit-disc predicate runs
+// here against fresh positions.
+func (t *Transceiver) startTxBatch(tx *transmission, now sim.Time) {
+	m := t.medium
+	// Transmitting corrupts anything this node was in the middle of
+	// receiving (half-duplex): record the interference instead of
+	// touching each in-flight reception.
+	if t.rxInFlight > 0 {
+		t.lastInterference = now
+	}
+	r2 := m.params.Range * m.params.Range
+	m.index.ForEachCandidate(now, tx.origin, m.params.Range, func(rcv *Transceiver) {
+		if rcv == t {
+			return
+		}
+		if rcv.pos.Position(now).Dist2(tx.origin) > r2 {
+			return
+		}
+		// A node mid-transmission cannot hear the frame, and any
+		// receptions already in flight at the receiver collide with the
+		// new one — the former decides this entry now, the latter is
+		// recorded as interference for the in-flight entries' walks.
+		corrupted := rcv.txEnd > now || rcv.rxInFlight > 0
+		if rcv.rxInFlight > 0 {
+			rcv.lastInterference = now
+		}
+		rcv.rxInFlight++
+		tx.recvs = append(tx.recvs, recvEntry{rcv: rcv.idx, corrupted: corrupted})
+	})
+	m.sched.At(tx.end, func() { m.finishTx(tx) })
+}
+
+// finishTx is the batched model's single finish event: it walks the
+// receiver table in attach order — the exact order the reference model
+// fires its per-receiver events in, since those are scheduled
+// back-to-back at StartTx and the kernel runs same-instant events in
+// insertion order — finalises each entry's outcome, and retires the
+// transmission. Handlers may call StartTx re-entrantly; entries not yet
+// walked still count as in flight, so a frame transmitted mid-walk
+// collides with them exactly as it would under ModelRef.
+func (m *Medium) finishTx(tx *transmission) {
+	now := m.sched.Now()
+	m.elided += uint64(len(tx.recvs))
+	for i := range tx.recvs {
+		e := tx.recvs[i]
+		rcv := m.nodes[e.rcv]
+		rcv.rxInFlight--
+		// A node still transmitting when the frame ends cannot have
+		// heard it; interference at or after the frame's start corrupts
+		// (at-start equality arises only when the interferer acted
+		// after this frame began within the same instant).
+		corrupted := e.corrupted || rcv.lastInterference >= tx.start || rcv.txEnd > now
+		if corrupted {
+			rcv.collided++
+			m.stats.Collisions++
+		} else {
+			rcv.delivered++
+			m.stats.Deliveries++
+		}
+		if rcv.handler != nil {
+			rcv.handler(tx.frame, tx.from.id, !corrupted)
+		}
+	}
+	m.index.RemoveTx(tx)
+	m.releaseTx(tx)
+}
+
+// startTxRef is the reference reception path: one reception record and
+// one scheduled finish event per in-range receiver, plus a trailing
+// event that retires the transmission.
+func (t *Transceiver) startTxRef(tx *transmission, now sim.Time) {
+	m := t.medium
 	// Transmitting corrupts anything this node was in the middle of
 	// receiving (half-duplex).
 	for _, rec := range t.receptions {
@@ -204,11 +383,11 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 	// The index yields a position-superset in attach order; the exact
 	// unit-disc predicate runs here against fresh positions.
 	r2 := m.params.Range * m.params.Range
-	m.index.ForEachCandidate(now, origin, m.params.Range, func(rcv *Transceiver) {
+	m.index.ForEachCandidate(now, tx.origin, m.params.Range, func(rcv *Transceiver) {
 		if rcv == t {
 			return
 		}
-		if rcv.pos.Position(now).Dist2(origin) > r2 {
+		if rcv.pos.Position(now).Dist2(tx.origin) > r2 {
 			return
 		}
 		rec := &reception{tx: tx}
@@ -226,8 +405,10 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 		m.sched.At(tx.end, func() { rcv.finishReception(rec) })
 	})
 
-	m.sched.At(tx.end, func() { m.index.RemoveTx(tx) })
-	return nil
+	m.sched.At(tx.end, func() {
+		m.index.RemoveTx(tx)
+		m.releaseTx(tx)
+	})
 }
 
 func (t *Transceiver) finishReception(rec *reception) {

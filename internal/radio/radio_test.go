@@ -31,12 +31,39 @@ func build(sched *sim.Scheduler, m *Medium, positions []geom.Point) []*testNode 
 	for i, p := range positions {
 		n := &testNode{}
 		id := pkt.NodeID(i + 1)
-		n.tr = m.Attach(id, mobility.Static{P: p}, func(frame any, from pkt.NodeID, ok bool) {
+		tr, err := m.Attach(id, mobility.Static{P: p}, func(frame any, from pkt.NodeID, ok bool) {
 			n.rxs = append(n.rxs, rxRecord{frame: frame, from: from, ok: ok, at: sched.Now()})
 		})
+		if err != nil {
+			panic(err)
+		}
+		n.tr = tr
 		nodes[i] = n
 	}
 	return nodes
+}
+
+// attach is the error-free Attach for tests with unique IDs.
+func attach(t testing.TB, m *Medium, id pkt.NodeID, pos mobility.Model, h Handler) *Transceiver {
+	t.Helper()
+	tr, err := m.Attach(id, pos, h)
+	if err != nil {
+		t.Fatalf("Attach(%v): %v", id, err)
+	}
+	return tr
+}
+
+func TestAttachDuplicateNodeID(t *testing.T) {
+	sched := sim.NewScheduler()
+	m := NewMedium(sched, Params{Range: 100})
+	attach(t, m, 7, mobility.Static{}, nil)
+	if _, err := m.Attach(7, mobility.Static{}, nil); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate Attach err = %v, want ErrDuplicateNode", err)
+	}
+	// The failed attach must not have registered a second transceiver.
+	if got := m.NeighborsOf(7); len(got) != 0 {
+		t.Fatalf("NeighborsOf(7) after failed duplicate attach = %v, want none", got)
+	}
 }
 
 func TestDeliveryWithinRange(t *testing.T) {
@@ -241,8 +268,8 @@ func TestMobileNodeRangeEvaluatedAtTxStart(t *testing.T) {
 
 	lin := linearModel{from: geom.Point{X: 90, Y: 0}, vx: 10}
 	var got []rxRecord
-	tx := m.Attach(1, mobility.Static{P: geom.Point{}}, nil)
-	m.Attach(2, lin, func(frame any, from pkt.NodeID, ok bool) {
+	tx := attach(t, m, 1, mobility.Static{P: geom.Point{}}, nil)
+	attach(t, m, 2, lin, func(frame any, from pkt.NodeID, ok bool) {
 		got = append(got, rxRecord{frame: frame, from: from, ok: ok, at: sched.Now()})
 	})
 

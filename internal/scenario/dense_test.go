@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"anongossip/internal/radio"
+)
+
+// TestDenseFamilyGeometry checks the family's defining invariant: the
+// field is sized so the expected mean degree at the paper's 75 m range
+// hits the sweep target for the configured node count, with multiple
+// concurrent senders.
+func TestDenseFamilyGeometry(t *testing.T) {
+	for _, nodes := range []int{250, 500, 1000} {
+		for _, degree := range DenseXs() {
+			cfg := DenseConfig(nodes, degree)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("n=%d degree=%v: invalid config: %v", nodes, degree, err)
+			}
+			if cfg.TxRange != 75 {
+				t.Fatalf("n=%d degree=%v: range %v, want the paper's 75 m", nodes, degree, cfg.TxRange)
+			}
+			if cfg.NumSources != DenseSources {
+				t.Fatalf("n=%d degree=%v: %d sources, want %d", nodes, degree, cfg.NumSources, DenseSources)
+			}
+			if cfg.Area.W != cfg.Area.H {
+				t.Fatalf("n=%d degree=%v: non-square field %+v", nodes, degree, cfg.Area)
+			}
+			// Expected degree of a uniform deployment, ignoring edge
+			// effects: n·πr²/A.
+			expected := float64(cfg.Nodes) * math.Pi * cfg.TxRange * cfg.TxRange / cfg.Area.Area()
+			if math.Abs(expected-degree)/degree > 1e-9 {
+				t.Fatalf("n=%d: field sized for degree %v, want %v", nodes, expected, degree)
+			}
+		}
+	}
+	// Denser points must shrink the field, not grow it.
+	xs := DenseXs()
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("DenseXs not increasing: %v", xs)
+		}
+		a := DenseConfig(250, xs[i]).Area.Area()
+		b := DenseConfig(250, xs[i-1]).Area.Area()
+		if a >= b {
+			t.Fatalf("degree %v field (%v) not smaller than degree %v field (%v)", xs[i], a, xs[i-1], b)
+		}
+	}
+}
+
+// TestDenseRejectsBadDegree: a non-positive or NaN target degree must
+// fail validation instead of yielding an infinite field that simulates
+// silently.
+func TestDenseRejectsBadDegree(t *testing.T) {
+	for _, degree := range []float64{0, -5, math.NaN()} {
+		if err := DenseConfig(250, degree).Validate(); err == nil {
+			t.Fatalf("degree %v accepted, want a validation error", degree)
+		}
+	}
+}
+
+// TestDenseRxModelBitIdentical asserts the reception-path refactor's
+// bit-identity on the workload built to stress it: a dense run — tens
+// of neighbours per node, five concurrent senders, constant frame
+// overlap — must be identical under the batched and reference models.
+func TestDenseRxModelBitIdentical(t *testing.T) {
+	duration := 24 * time.Second
+	if testing.Short() {
+		duration = 12 * time.Second
+	}
+	cfg := ShortenedData(DenseConfig(250, 30), duration)
+	cfg.Seed = 17
+
+	cfg.RxModel = radio.ModelBatch
+	batch, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RxModel = radio.ModelRef
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, ref) {
+		t.Fatalf("batch and ref dense runs diverged:\nbatch: %+v\nref:   %+v", batch, ref)
+	}
+	if batch.Sent == 0 {
+		t.Fatal("degenerate dense run: nothing sent")
+	}
+}
+
+// TestDenseRunsDeliver sanity-checks the family end to end: all five
+// sources emit their full streams, the measured degree lands in the
+// target's neighbourhood (below it — edge effects only subtract), and
+// the packed network still delivers.
+func TestDenseRunsDeliver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: covered by the dense bit-identity test")
+	}
+	cfg := ShortenedData(DenseConfig(250, 20), 75*time.Second)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under dense load some source sends legitimately fail (queue
+	// pressure at the sources is part of the workload), but the five
+	// streams must still be substantially complete.
+	max := DenseSources * cfg.ExpectedPackets()
+	if res.Sent > max || res.Sent < max*9/10 {
+		t.Fatalf("sent %d packets, want within [%d, %d] (%d sources × %d)",
+			res.Sent, max*9/10, max, DenseSources, cfg.ExpectedPackets())
+	}
+	if res.MeanDegree < 10 || res.MeanDegree > 22 {
+		t.Fatalf("mean degree %.1f outside the degree-20 target band", res.MeanDegree)
+	}
+	if ratio := res.DeliveryRatio(); ratio < 0.05 {
+		t.Fatalf("delivery ratio %.3f suspiciously low even for a loaded channel", ratio)
+	}
+}

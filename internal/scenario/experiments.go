@@ -22,8 +22,15 @@ type Aggregate struct {
 	Received stats.Summary
 	// Goodput is the mean member goodput across seeds.
 	Goodput float64
-	// Sent is the per-run packet count (identical across seeds).
+	// Sent is the mean per-run packet count across seeds. Seeds
+	// usually agree exactly, but under overload (the dense family)
+	// source sends can fail seed-dependently, so the mean — not an
+	// arbitrary seed's count — is the DeliveryRatio denominator.
 	Sent int
+	// Events sums the logical simulation events over all seeds — a
+	// workload-size metric for perf tracking, identical across the
+	// index, queue and reception-model kinds.
+	Events uint64
 }
 
 // DeliveryRatio is mean delivery over packets sent, in [0, 1].
@@ -69,13 +76,16 @@ func RunSeeds(cfg Config, seeds []int64, parallel int) ([]*Result, error) {
 func AggregateResults(results []*Result) Aggregate {
 	var agg Aggregate
 	var goodputSum float64
+	var sentSum int
 	for _, r := range results {
 		agg.Received = stats.Merge(agg.Received, r.Received)
 		goodputSum += r.MeanGoodput()
-		agg.Sent = r.Sent
+		sentSum += r.Sent
+		agg.Events += r.Events
 	}
 	if len(results) > 0 {
 		agg.Goodput = goodputSum / float64(len(results))
+		agg.Sent = (sentSum + len(results)/2) / len(results)
 	}
 	return agg
 }
@@ -88,6 +98,11 @@ type ComparisonRow struct {
 	X      float64
 	Gossip Aggregate
 	Maodv  Aggregate
+	// Elapsed is the wall time this point took: both stacks, all seeds
+	// (measurement metadata, not a simulation result). Together with
+	// the aggregates' Events totals it gives the events/sec perf track
+	// agbench -json records across PRs.
+	Elapsed time.Duration
 }
 
 // RunComparisonStacks sweeps xs, running the treatment and baseline
@@ -99,6 +114,7 @@ func RunComparisonStacks(base Config, xs []float64, apply func(Config, float64) 
 	rows := make([]ComparisonRow, 0, len(xs))
 	for _, x := range xs {
 		cfg := apply(base, x)
+		start := time.Now()
 
 		cfg.Stack = treatment
 		tRes, err := RunSeeds(cfg, seeds, parallel)
@@ -110,7 +126,10 @@ func RunComparisonStacks(base Config, xs []float64, apply func(Config, float64) 
 		if err != nil {
 			return nil, fmt.Errorf("%v at x=%v: %w", baseline, x, err)
 		}
-		row := ComparisonRow{X: x, Gossip: AggregateResults(tRes), Maodv: AggregateResults(bRes)}
+		row := ComparisonRow{
+			X: x, Gossip: AggregateResults(tRes), Maodv: AggregateResults(bRes),
+			Elapsed: time.Since(start),
+		}
 		rows = append(rows, row)
 		if progress != nil {
 			fmt.Fprintf(progress, "x=%-7.2f %v %7.1f [%5.0f,%5.0f]   %v %7.1f [%5.0f,%5.0f]\n",
@@ -254,6 +273,59 @@ func ShortenedData(c Config, duration time.Duration) Config {
 	}
 	c.DataEnd = duration - tail
 	return c
+}
+
+// --- dense-traffic family (beyond the paper) ---
+//
+// The large-scale family grows the network at the paper's baseline
+// density (~15 neighbours). The dense family turns the opposite knob:
+// it packs the field so every node hears 20–60 neighbours and runs
+// multiple concurrent CBR sources, putting many frames in every
+// neighbourhood at once. That is the regime where reception cost
+// dominates — each broadcast reaches O(degree) receivers — so the
+// family is the standing stress workload for the radio's batched
+// reception path and any future channel work. The delivery-under-load
+// questions of gossip-based routing at scale (Haas/Halpern/Li; Hu/Jehl,
+// PAPERS.md) live in exactly this regime.
+
+// DenseXs returns the target mean degrees of the dense-traffic sweep.
+func DenseXs() []float64 { return []float64{20, 30, 40, 60} }
+
+// DenseSources is the number of concurrent CBR senders in the dense
+// family (phase-shifted; AG tracks sequence numbers per origin).
+const DenseSources = 5
+
+// DenseNodes is the family's default node count; agbench's -dense-nodes
+// raises it to 500 or 1000 for the larger members.
+const DenseNodes = 250
+
+// ApplyDense reshapes c to one dense sweep point: the field is sized so
+// the expected mean degree at the paper's 75 m range equals x for the
+// config's node count — side(n, d) = sqrt(n·π·75²/d) — ignoring edge
+// effects, which only push the true degree below the target. Node count
+// and source count are taken from c (see DenseConfig). A non-positive
+// (or NaN) degree yields a degenerate area that Validate rejects,
+// rather than an infinite field that would simulate silently.
+func ApplyDense(c Config, degree float64) Config {
+	c.TxRange = 75
+	c.MaxSpeed = 0.2
+	if !(degree > 0) {
+		c.Area = geom.Rect{}
+		return c
+	}
+	side := math.Sqrt(float64(c.Nodes) * math.Pi * c.TxRange * c.TxRange / degree)
+	c.Area = geom.Rect{W: side, H: side}
+	return c
+}
+
+// DenseConfig returns the dense-traffic configuration at one node count
+// and target mean degree: DenseSources concurrent senders on a field
+// packed to the requested degree.
+func DenseConfig(nodes int, degree float64) Config {
+	c := DefaultConfig()
+	c.Nodes = nodes
+	c.NumSources = DenseSources
+	return ApplyDense(c, degree)
 }
 
 // GoodputCase is one of Fig. 8's four (range, speed) combinations.

@@ -125,6 +125,44 @@ func TestLargeScaleQueueQuadRefBitIdentical(t *testing.T) {
 	}
 }
 
+// TestLargeScale250RxModelIndexMatrixBitIdentical is the determinism
+// acceptance test for the reception-path refactor: a 250-node run must
+// produce bit-identical results — every member count, latency, byte
+// counter and the logical event total — across all four reception-model
+// × neighbour-index combinations. Short mode trims the simulated time,
+// not the node count.
+func TestLargeScale250RxModelIndexMatrixBitIdentical(t *testing.T) {
+	duration := 40 * time.Second
+	if testing.Short() {
+		duration = 16 * time.Second
+	}
+	cfg := ShortenedData(LargeScaleConfig(250), duration)
+	cfg.Seed = 13
+
+	var ref *Result
+	var refName string
+	for _, model := range []radio.ReceptionModel{radio.ModelBatch, radio.ModelRef} {
+		for _, index := range []radio.IndexKind{radio.IndexGrid, radio.IndexBrute} {
+			name := model.String() + "/" + index.String()
+			cfg.RxModel, cfg.RadioIndex = model, index
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if ref == nil {
+				ref, refName = res, name
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("%s diverged from %s:\n%s: %+v\n%s: %+v", name, refName, name, res, refName, ref)
+			}
+		}
+	}
+	if ref.Sent == 0 || ref.Received.Mean == 0 {
+		t.Fatalf("degenerate run: sent %d, mean received %v", ref.Sent, ref.Received.Mean)
+	}
+}
+
 // TestBaselineGridBruteBitIdentical covers the paper's own operating
 // point (40 nodes, mobile, full protocol stack) across two seeds.
 func TestBaselineGridBruteBitIdentical(t *testing.T) {

@@ -8,6 +8,14 @@
 // same configuration and seed produce bit-identical schedules, which makes
 // every experiment in EXPERIMENTS.md replayable.
 //
+// A corollary callers may rely on (the radio's batched reception model
+// does — see DESIGN.md §6): insertion sequences are allocated at
+// scheduling time and only grow, so events scheduled back-to-back for
+// one instant execute as a contiguous block — nothing scheduled later,
+// not even from a callback already executing at that instant, can
+// interleave into the block. Replacing such a block with a single event
+// carrying the block's work is therefore order-equivalent.
+//
 // Timers live in a generation-stamped pool inside the Scheduler: After/At
 // allocate nothing per event, Timer handles are small copyable values, and
 // fired or cancelled slots are recycled through a free list. The pending

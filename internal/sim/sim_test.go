@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -49,6 +50,50 @@ func TestSchedulerSameInstantFIFO(t *testing.T) {
 		for i, v := range order {
 			if v != i {
 				t.Fatalf("same-instant events fired out of insertion order: %v", order)
+			}
+		}
+	})
+}
+
+// TestSchedulerSameInstantBlockOrdering pins the ordering guarantee the
+// radio's batched reception path builds on: events scheduled
+// back-to-back for one instant form a contiguous sequence block, and an
+// event scheduled later — even from a callback already executing at
+// that same instant — can never interleave into the block, because
+// sequence numbers are allocated at scheduling time and only grow. A
+// single event standing in for such a block therefore executes at an
+// equivalent point in the total order.
+func TestSchedulerSameInstantBlockOrdering(t *testing.T) {
+	forEachQueueKind(t, func(t *testing.T, kind QueueKind) {
+		s := NewSchedulerQueue(kind)
+		const at = time.Second
+		var order []string
+		// Scheduled first: fires before the block and schedules a
+		// same-instant follow-up mid-execution.
+		s.At(at, func() {
+			order = append(order, "pre")
+			s.At(at, func() { order = append(order, "follow-up") })
+		})
+		// The contiguous block, scheduled back to back.
+		for i := 0; i < 3; i++ {
+			i := i
+			s.At(at, func() {
+				order = append(order, fmt.Sprintf("block%d", i))
+				if i == 0 {
+					// Scheduling at the current instant from inside the
+					// block lands after the block too.
+					s.At(at, func() { order = append(order, "inner") })
+				}
+			})
+		}
+		s.Run(2 * at)
+		want := []string{"pre", "block0", "block1", "block2", "follow-up", "inner"}
+		if len(order) != len(want) {
+			t.Fatalf("executed %d events, want %d: %v", len(order), len(want), order)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("same-instant block order = %v, want %v", order, want)
 			}
 		}
 	})
