@@ -22,11 +22,14 @@
 // the 1000-node points take tens of minutes — shrink with -duration and
 // cap the sweeps with -large-max / -dense-max for previews.
 //
-// Three flags switch simulator internals on bit-identical workloads —
+// Four flags switch simulator internals on bit-identical workloads —
 // only wall time changes: -index (radio neighbour index: spatial grid
 // vs brute-force scan), -queue (kernel event queue: pooled 4-ary heap
-// vs container/heap reference) and -rxmodel (radio reception path:
-// batched per-frame receiver tables vs the per-receiver reference).
+// vs container/heap reference), -rxmodel (radio reception path:
+// batched per-frame receiver tables vs the per-receiver reference)
+// and -scheduler (execution engine: serial vs the sharded parallel
+// kernel running conservative lookahead windows on -workers
+// goroutines).
 // -cpuprofile/-memprofile write pprof profiles for bottleneck hunts
 // (see EXPERIMENTS.md, "Profiling workflow").
 //
@@ -135,11 +138,19 @@ type jsonReport struct {
 	Index            string        `json:"index"`
 	Queue            string        `json:"queue"`
 	RxModel          string        `json:"rxmodel"`
+	Scheduler        string        `json:"scheduler"`
+	Workers          int           `json:"workers"`
 	Seeds            int           `json:"seeds"`
 	Duration         string        `json:"duration"`
 	Figures          []jsonFigure  `json:"figures,omitempty"`
 	Goodput          []jsonGoodput `json:"goodput_cases,omitempty"`
 	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	// TotalEvents sums logical events over every figure point, and
+	// MallocsPerEvent divides the process's heap allocation count over
+	// the same span — the coarse allocation-rate metric the bench
+	// regression gate (cmd/benchgate) tracks alongside events/sec.
+	TotalEvents     uint64  `json:"total_events"`
+	MallocsPerEvent float64 `json:"mallocs_per_event"`
 }
 
 // addFigure converts a sweep's rows into the report's point records.
@@ -180,6 +191,8 @@ func run(args []string) error {
 		index      = fs.String("index", "grid", "radio neighbour index: grid | brute")
 		queue      = fs.String("queue", "quad", "scheduler event queue: quad | ref")
 		rxmodel    = fs.String("rxmodel", "batch", "radio reception model: batch | ref")
+		schedStr   = fs.String("scheduler", "serial", "simulation kernel: "+sim.SchedulerNames())
+		workers    = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
 		largeMax   = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
 		denseNodes = fs.Int("dense-nodes", scenario.DenseNodes, "node count of the -fig dense sweep")
 		denseMax   = fs.Int("dense-max", 60, "largest target degree of the -fig dense sweep")
@@ -233,6 +246,23 @@ func run(args []string) error {
 		return fmt.Errorf("invalid -rxmodel %q (want batch or ref)", *rxmodel)
 	}
 
+	var schedKind sim.SchedulerKind
+	switch *schedStr {
+	case "serial":
+		schedKind = sim.SchedulerSerial
+	case "sharded":
+		schedKind = sim.SchedulerSharded
+	default:
+		return fmt.Errorf("invalid -scheduler %q (want %s)", *schedStr, sim.SchedulerNames())
+	}
+	if *workers < 0 {
+		return fmt.Errorf("invalid -workers %d", *workers)
+	}
+	effWorkers := *workers
+	if schedKind == sim.SchedulerSharded && effWorkers == 0 {
+		effWorkers = runtime.NumCPU()
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -283,6 +313,8 @@ func run(args []string) error {
 	base.RadioIndex = radioIndex
 	base.EventQueue = queueKind
 	base.RxModel = rxModel
+	base.Scheduler = schedKind
+	base.Workers = effWorkers
 	if *duration != base.Duration {
 		// Below ~a minute the paper's warm-up/cool-down proportions are
 		// gone and any table would be noise.
@@ -293,6 +325,8 @@ func run(args []string) error {
 	}
 	seedList := scenario.Seeds(*seeds)
 	start := time.Now()
+	var memStart runtime.MemStats
+	runtime.ReadMemStats(&memStart)
 
 	report := &jsonReport{
 		GoVersion: runtime.Version(),
@@ -301,6 +335,8 @@ func run(args []string) error {
 		Index:     radioIndex.String(),
 		Queue:     queueKind.String(),
 		RxModel:   rxModel.String(),
+		Scheduler: schedKind.String(),
+		Workers:   effWorkers,
 		Seeds:     *seeds,
 		Duration:  base.Duration.String(),
 	}
@@ -328,7 +364,7 @@ func run(args []string) error {
 		report.addFigure(id, title, xName, rows)
 		return nil
 	}
-	internals := fmt.Sprintf("%s index, %s rxmodel", *index, *rxmodel)
+	internals := fmt.Sprintf("%s index, %s rxmodel, %s kernel", *index, *rxmodel, *schedStr)
 
 	for _, f := range figures() {
 		if !want[f.id] {
@@ -403,6 +439,16 @@ func run(args []string) error {
 
 	if *jsonPath != "" {
 		report.TotalWallSeconds = total.Seconds()
+		var memEnd runtime.MemStats
+		runtime.ReadMemStats(&memEnd)
+		for _, f := range report.Figures {
+			for _, p := range f.Points {
+				report.TotalEvents += p.Events
+			}
+		}
+		if report.TotalEvents > 0 {
+			report.MallocsPerEvent = float64(memEnd.Mallocs-memStart.Mallocs) / float64(report.TotalEvents)
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return fmt.Errorf("json: %w", err)

@@ -13,12 +13,18 @@
 // The -protocol flag accepts any stack registered with the protocol
 // registry ("maodv", "maodv+gossip", "flood+gossip", ...) plus the
 // legacy spellings ("gossip", "odmrp-gossip"); -help lists them.
+//
+// -scheduler picks the simulation kernel: serial (default) or sharded,
+// the parallel conservative-lookahead engine (-workers goroutines,
+// 0 = NumCPU). Both produce bit-identical results for the same seed —
+// only wall time changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -47,6 +53,9 @@ func run(args []string) error {
 		pause    = fs.Duration("pause", 80*time.Second, "maximum waypoint pause")
 		duration = fs.Duration("duration", 600*time.Second, "simulated time")
 		seed     = fs.Int64("seed", 1, "random seed")
+		schedStr = fs.String("scheduler", "serial",
+			"simulation kernel: serial | sharded (bit-identical results; sharded runs lookahead windows on -workers goroutines)")
+		workers  = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
 		interval = fs.Duration("gossip-interval", time.Second, "gossip round period")
 		panon    = fs.Float64("panon", 0.7, "probability of anonymous vs cached gossip")
 		verbose  = fs.Bool("verbose", false, "print per-member rows")
@@ -76,6 +85,18 @@ func run(args []string) error {
 		}
 	}
 	cfg.Seed = *seed
+	switch *schedStr {
+	case "serial":
+		cfg.Scheduler = anongossip.SchedulerSerial
+	case "sharded":
+		cfg.Scheduler = anongossip.SchedulerSharded
+	default:
+		return fmt.Errorf("invalid -scheduler %q (want serial or sharded)", *schedStr)
+	}
+	cfg.Workers = *workers
+	if cfg.Scheduler == anongossip.SchedulerSharded && cfg.Workers == 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
 	cfg.Gossip.Interval = *interval
 	cfg.Gossip.PAnon = *panon
 	if *traceN > 0 {
@@ -101,8 +122,12 @@ func run(args []string) error {
 	}
 	fmt.Printf("overhead     control %d KB, payload %d KB, %d MAC collisions\n",
 		res.ControlBytes/1024, res.PayloadBytes/1024, res.MACCollisions)
-	fmt.Printf("simulator    %d events in %v (%.1fx real time)\n",
-		res.Events, wall.Round(time.Millisecond), cfg.Duration.Seconds()/wall.Seconds())
+	engine := cfg.Scheduler.String() + " kernel"
+	if cfg.Scheduler == anongossip.SchedulerSharded {
+		engine = fmt.Sprintf("sharded kernel, %d workers", cfg.Workers)
+	}
+	fmt.Printf("simulator    %d events in %v (%.1fx real time, %s)\n",
+		res.Events, wall.Round(time.Millisecond), cfg.Duration.Seconds()/wall.Seconds(), engine)
 
 	if *verbose {
 		fmt.Printf("\n%8s %10s %10s %10s\n", "member", "received", "recovered", "goodput")

@@ -36,4 +36,25 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+	if err := run([]string{"-scheduler", "quantum"}); err == nil {
+		t.Fatal("unknown scheduler kind accepted")
+	}
+	if err := run([]string{"-scheduler", "sharded", "-trace", "5", "-duration", "60s"}); err == nil {
+		t.Fatal("sharded + trace capture accepted")
+	}
+}
+
+// TestRunShardedScheduler drives the -scheduler/-workers flags end to
+// end on a short run.
+func TestRunShardedScheduler(t *testing.T) {
+	err := run([]string{
+		"-protocol", "gossip",
+		"-nodes", "15",
+		"-duration", "60s",
+		"-scheduler", "sharded",
+		"-workers", "2",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
 }

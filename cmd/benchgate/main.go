@@ -1,0 +1,331 @@
+// Command benchgate is the bench regression gate and the generator of
+// the repo's committed perf baselines (the BENCH_*.json files).
+//
+// Gate mode (the CI path) compares a fresh `agbench -json` record
+// against the committed baseline and fails on a throughput or
+// allocation-rate regression:
+//
+//	agbench -fig dense -dense-nodes 100 -dense-max 20 -seeds 1 \
+//	        -duration 75s -json fresh.json
+//	benchgate -baseline BENCH_PR6.json -candidate fresh.json
+//
+// The gate compares sweep-wide events/sec (candidate must reach
+// -min-speed-ratio of baseline, default 0.5 — wide enough for shared
+// CI runners, tight enough to catch an accidental O(n) slip) and
+// mallocs/event (candidate must stay under -max-allocs-ratio of
+// baseline, default 1.5). It refuses to compare records from different
+// workloads: protocol, figure set, seeds and duration must match.
+//
+// Record mode regenerates the committed baseline: it runs the
+// serial-vs-sharded scheduler matrix (every -workers count at every
+// -matrix-nodes count, constant-density large-scale configs) and
+// embeds the smoke record written by agbench:
+//
+//	benchgate -record BENCH_PR6.json -smoke fresh.json \
+//	          -matrix-nodes 1000,10000 -workers 1,2,4,8 -duration 20s
+//
+// Matrix rows at the same node count execute bit-identical schedules
+// (asserted by the scenario differential tests), so their wall-clock
+// ratios isolate the sharded kernel's scaling. The record carries the
+// host's CPU count: scaling numbers are only meaningful relative to
+// the cores that produced them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"anongossip/internal/scenario"
+	"anongossip/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// smokeRecord is the slice of agbench's -json report the gate reads.
+// Field names must stay in lockstep with cmd/agbench's jsonReport.
+type smokeRecord struct {
+	GoVersion       string          `json:"go_version"`
+	Protocol        string          `json:"protocol"`
+	Index           string          `json:"index"`
+	Queue           string          `json:"queue"`
+	RxModel         string          `json:"rxmodel"`
+	Scheduler       string          `json:"scheduler"`
+	Workers         int             `json:"workers"`
+	Seeds           int             `json:"seeds"`
+	Duration        string          `json:"duration"`
+	Figures         json.RawMessage `json:"figures"`
+	TotalEvents     uint64          `json:"total_events"`
+	MallocsPerEvent float64         `json:"mallocs_per_event"`
+
+	// Derived from Figures at load time.
+	figureIDs    []string
+	events       uint64
+	wallSeconds  float64
+	eventsPerSec float64
+}
+
+// matrixRow is one serial-vs-sharded measurement.
+type matrixRow struct {
+	Nodes        int     `json:"nodes"`
+	Scheduler    string  `json:"scheduler"`
+	Workers      int     `json:"workers"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// SpeedupVsSerial is serial wall time over this row's wall time at
+	// the same node count (1.0 for the serial row itself).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// baseline is the committed BENCH_*.json schema.
+type baseline struct {
+	GoVersion string `json:"go_version"`
+	// CPUs is the core count of the recording host. Scheduler-matrix
+	// speedups cannot exceed it.
+	CPUs            int         `json:"cpus"`
+	Note            string      `json:"note,omitempty"`
+	SimDuration     string      `json:"sim_duration"`
+	SchedulerMatrix []matrixRow `json:"scheduler_matrix"`
+	// Smoke is the agbench -json record the CI gate compares against.
+	Smoke json.RawMessage `json:"smoke_baseline"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "committed baseline (BENCH_*.json) to gate against")
+		candidate    = fs.String("candidate", "", "fresh agbench -json record to check")
+		minSpeed     = fs.Float64("min-speed-ratio", 0.5, "fail if candidate events/sec falls below this fraction of baseline")
+		maxAllocs    = fs.Float64("max-allocs-ratio", 1.5, "fail if candidate mallocs/event exceeds this multiple of baseline")
+		record       = fs.String("record", "", "write a new baseline to this file instead of gating")
+		smokePath    = fs.String("smoke", "", "agbench -json record to embed in the -record baseline")
+		matrixNodes  = fs.String("matrix-nodes", "1000,10000", "comma-separated node counts for the -record scheduler matrix")
+		workerList   = fs.String("workers", "1,2,4,8", "comma-separated worker counts for the -record scheduler matrix")
+		duration     = fs.Duration("duration", 20*time.Second, "simulated time per -record matrix run")
+		note         = fs.String("note", "", "free-form host note stored in the -record baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *record != "" {
+		return runRecord(*record, *smokePath, *matrixNodes, *workerList, *duration, *note)
+	}
+	if *baselinePath == "" || *candidate == "" {
+		return fmt.Errorf("need -baseline and -candidate (or -record); see -help")
+	}
+	return runGate(*baselinePath, *candidate, *minSpeed, *maxAllocs)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// --- record mode ---
+
+func runRecord(outPath, smokePath, matrixNodes, workerList string, duration time.Duration, note string) error {
+	nodes, err := parseInts(matrixNodes)
+	if err != nil {
+		return fmt.Errorf("-matrix-nodes: %w", err)
+	}
+	workers, err := parseInts(workerList)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+
+	b := baseline{
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		Note:        note,
+		SimDuration: duration.String(),
+	}
+	if smokePath != "" {
+		data, err := os.ReadFile(smokePath)
+		if err != nil {
+			return fmt.Errorf("smoke record: %w", err)
+		}
+		var probe smokeRecord
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return fmt.Errorf("smoke record does not parse: %w", err)
+		}
+		b.Smoke = json.RawMessage(data)
+	}
+
+	measure := func(n int, kind sim.SchedulerKind, w int) (matrixRow, error) {
+		cfg := scenario.ShortenedData(scenario.LargeScaleConfig(n), duration)
+		cfg.Scheduler = kind
+		cfg.Workers = w
+		cfg.Seed = 1
+		start := time.Now()
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			return matrixRow{}, err
+		}
+		wall := time.Since(start).Seconds()
+		row := matrixRow{Nodes: n, Scheduler: kind.String(), Workers: w,
+			Events: res.Events, WallSeconds: wall}
+		if wall > 0 {
+			row.EventsPerSec = float64(res.Events) / wall
+		}
+		return row, nil
+	}
+
+	for _, n := range nodes {
+		serial, err := measure(n, sim.SchedulerSerial, 1)
+		if err != nil {
+			return fmt.Errorf("%d nodes serial: %w", n, err)
+		}
+		serial.SpeedupVsSerial = 1
+		fmt.Printf("%6d nodes  serial        %10.0f events/sec\n", n, serial.EventsPerSec)
+		b.SchedulerMatrix = append(b.SchedulerMatrix, serial)
+		for _, w := range workers {
+			row, err := measure(n, sim.SchedulerSharded, w)
+			if err != nil {
+				return fmt.Errorf("%d nodes sharded workers=%d: %w", n, w, err)
+			}
+			if row.Events != serial.Events {
+				return fmt.Errorf("%d nodes sharded workers=%d executed %d events, serial %d — bit-identity broken",
+					n, w, row.Events, serial.Events)
+			}
+			if row.WallSeconds > 0 {
+				row.SpeedupVsSerial = serial.WallSeconds / row.WallSeconds
+			}
+			fmt.Printf("%6d nodes  sharded w=%-3d %10.0f events/sec  (%.2fx serial)\n",
+				n, w, row.EventsPerSec, row.SpeedupVsSerial)
+			b.SchedulerMatrix = append(b.SchedulerMatrix, row)
+		}
+	}
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// --- gate mode ---
+
+func loadSmoke(path string, embedded bool) (*smokeRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if embedded {
+		var b baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("%s does not parse as a baseline: %w", path, err)
+		}
+		if len(b.Smoke) == 0 {
+			return nil, fmt.Errorf("%s has no smoke_baseline record", path)
+		}
+		data = b.Smoke
+	}
+	var rec smokeRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s does not parse as an agbench record: %w", path, err)
+	}
+	// Pull the per-figure perf numbers out of the raw figure list.
+	var figs []struct {
+		Figure string `json:"figure"`
+		Points []struct {
+			Events      uint64  `json:"events"`
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"points"`
+	}
+	if len(rec.Figures) > 0 {
+		if err := json.Unmarshal(rec.Figures, &figs); err != nil {
+			return nil, fmt.Errorf("%s: figures do not parse: %w", path, err)
+		}
+	}
+	for _, f := range figs {
+		rec.figureIDs = append(rec.figureIDs, f.Figure)
+		for _, p := range f.Points {
+			rec.events += p.Events
+			rec.wallSeconds += p.WallSeconds
+		}
+	}
+	if rec.wallSeconds > 0 {
+		rec.eventsPerSec = float64(rec.events) / rec.wallSeconds
+	}
+	return &rec, nil
+}
+
+func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs float64) error {
+	base, err := loadSmoke(baselinePath, true)
+	if err != nil {
+		return err
+	}
+	cand, err := loadSmoke(candidatePath, false)
+	if err != nil {
+		return err
+	}
+
+	// Perf numbers are only comparable on the same workload.
+	for _, axis := range []struct{ name, b, c string }{
+		{"protocol", base.Protocol, cand.Protocol},
+		{"figures", strings.Join(base.figureIDs, "+"), strings.Join(cand.figureIDs, "+")},
+		{"duration", base.Duration, cand.Duration},
+		{"seeds", strconv.Itoa(base.Seeds), strconv.Itoa(cand.Seeds)},
+	} {
+		if axis.b != axis.c {
+			return fmt.Errorf("workloads differ on %s: baseline %q, candidate %q — not comparable",
+				axis.name, axis.b, axis.c)
+		}
+	}
+	if base.events == 0 || cand.events == 0 {
+		return fmt.Errorf("empty record: baseline %d events, candidate %d", base.events, cand.events)
+	}
+	if cand.events != base.events {
+		// Event totals are deterministic per config+seed; a mismatch
+		// means the schedule changed (an intentional behaviour change
+		// regenerates the baseline). Still gate on throughput — that is
+		// the number this gate exists to protect.
+		fmt.Printf("note: event totals differ (baseline %d, candidate %d); schedule changed since the baseline was recorded\n",
+			base.events, cand.events)
+	}
+
+	speedRatio := cand.eventsPerSec / base.eventsPerSec
+	fmt.Printf("events/sec: baseline %.0f, candidate %.0f (%.2fx, floor %.2fx)\n",
+		base.eventsPerSec, cand.eventsPerSec, speedRatio, minSpeed)
+	failed := false
+	if speedRatio < minSpeed {
+		fmt.Printf("FAIL: throughput regression below the %.2fx floor\n", minSpeed)
+		failed = true
+	}
+	if base.MallocsPerEvent > 0 && cand.MallocsPerEvent > 0 {
+		allocRatio := cand.MallocsPerEvent / base.MallocsPerEvent
+		fmt.Printf("mallocs/event: baseline %.2f, candidate %.2f (%.2fx, ceiling %.2fx)\n",
+			base.MallocsPerEvent, cand.MallocsPerEvent, allocRatio, maxAllocs)
+		if allocRatio > maxAllocs {
+			fmt.Printf("FAIL: allocation-rate regression above the %.2fx ceiling\n", maxAllocs)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("bench regression gate failed against %s", baselinePath)
+	}
+	fmt.Println("bench gate passed")
+	return nil
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeAgbenchRecord builds an agbench -json record with the given
+// sweep-wide throughput and allocation rate.
+func fakeAgbenchRecord(events uint64, wallSeconds, mallocsPerEvent float64) string {
+	return fmt.Sprintf(`{
+		"go_version": "go-test",
+		"protocol": "maodv+gossip",
+		"index": "grid", "queue": "quad", "rxmodel": "batch",
+		"scheduler": "serial", "workers": 0,
+		"seeds": 1, "duration": "75s",
+		"figures": [{"figure": "dense", "points": [
+			{"x": 20, "events": %d, "wall_seconds": %g}
+		]}],
+		"total_events": %d,
+		"mallocs_per_event": %g
+	}`, events, wallSeconds, events, mallocsPerEvent)
+}
+
+func writeFile(t *testing.T, name, data string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// wrapBaseline embeds an agbench record the way -record does.
+func wrapBaseline(t *testing.T, smoke string) string {
+	t.Helper()
+	b := baseline{GoVersion: "go-test", CPUs: 1, Smoke: json.RawMessage(smoke)}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGatePassesOnEqualPerf(t *testing.T) {
+	smoke := fakeAgbenchRecord(1_000_000, 2.0, 40)
+	base := writeFile(t, "base.json", wrapBaseline(t, smoke))
+	cand := writeFile(t, "cand.json", smoke)
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("identical records failed the gate: %v", err)
+	}
+}
+
+func TestGateFailsOnThroughputRegression(t *testing.T) {
+	base := writeFile(t, "base.json",
+		wrapBaseline(t, fakeAgbenchRecord(1_000_000, 2.0, 40)))
+	// Same events, 3x the wall time: 0.33x throughput, under the 0.5 floor.
+	cand := writeFile(t, "cand.json", fakeAgbenchRecord(1_000_000, 6.0, 40))
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("3x slowdown passed the gate: %v", err)
+	}
+	// A looser floor lets the same record through.
+	if err := run([]string{"-baseline", base, "-candidate", cand,
+		"-min-speed-ratio", "0.25"}); err != nil {
+		t.Fatalf("loosened floor still failed: %v", err)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base := writeFile(t, "base.json",
+		wrapBaseline(t, fakeAgbenchRecord(1_000_000, 2.0, 40)))
+	// Same speed, double the allocation rate: over the 1.5x ceiling.
+	cand := writeFile(t, "cand.json", fakeAgbenchRecord(1_000_000, 2.0, 80))
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("2x allocation rate passed the gate: %v", err)
+	}
+	if err := run([]string{"-baseline", base, "-candidate", cand,
+		"-max-allocs-ratio", "2.5"}); err != nil {
+		t.Fatalf("loosened ceiling still failed: %v", err)
+	}
+}
+
+func TestGateRejectsMismatchedWorkloads(t *testing.T) {
+	base := writeFile(t, "base.json",
+		wrapBaseline(t, fakeAgbenchRecord(1_000_000, 2.0, 40)))
+	other := strings.Replace(fakeAgbenchRecord(1_000_000, 2.0, 40),
+		`"duration": "75s"`, `"duration": "600s"`, 1)
+	cand := writeFile(t, "cand.json", other)
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("mismatched workloads compared: %v", err)
+	}
+}
+
+func TestGateRejectsBadInput(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no flags accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-baseline", "no-such.json", "-candidate", "no-such.json"}); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	garbage := writeFile(t, "bad.json", "{not json")
+	if err := run([]string{"-baseline", garbage, "-candidate", garbage}); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	// A baseline without an embedded smoke record cannot gate.
+	empty := writeFile(t, "empty.json", `{"go_version": "go-test", "cpus": 1}`)
+	cand := writeFile(t, "cand.json", fakeAgbenchRecord(1, 1, 1))
+	if err := run([]string{"-baseline", empty, "-candidate", cand}); err == nil {
+		t.Fatal("baseline without smoke record accepted")
+	}
+	if err := run([]string{"-record", "out.json", "-matrix-nodes", "zero"}); err == nil {
+		t.Fatal("bad matrix-nodes accepted")
+	}
+	if err := run([]string{"-record", "out.json", "-workers", "-2"}); err == nil {
+		t.Fatal("bad workers accepted")
+	}
+	if err := run([]string{"-record", filepath.Join(t.TempDir(), "out.json"),
+		"-smoke", "no-such.json"}); err == nil {
+		t.Fatal("missing smoke record accepted")
+	}
+}
+
+// TestRecordSmallMatrix runs record mode on a tiny matrix and checks the
+// written baseline parses, carries serial + sharded rows with matching
+// event counts, and embeds the smoke record.
+func TestRecordSmallMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	smoke := writeFile(t, "smoke.json", fakeAgbenchRecord(1_000_000, 2.0, 40))
+	out := filepath.Join(t.TempDir(), "baseline.json")
+	err := run([]string{"-record", out, "-smoke", smoke,
+		"-matrix-nodes", "100", "-workers", "1,2", "-duration", "20s",
+		"-note", "test host"})
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline does not parse: %v", err)
+	}
+	if b.CPUs < 1 || b.Note != "test host" || len(b.Smoke) == 0 {
+		t.Fatalf("baseline metadata incomplete: %+v", b)
+	}
+	if len(b.SchedulerMatrix) != 3 { // serial + workers 1,2
+		t.Fatalf("matrix rows = %d, want 3", len(b.SchedulerMatrix))
+	}
+	serial := b.SchedulerMatrix[0]
+	if serial.Scheduler != "serial" || serial.Events == 0 || serial.EventsPerSec <= 0 {
+		t.Fatalf("serial row incomplete: %+v", serial)
+	}
+	for _, row := range b.SchedulerMatrix[1:] {
+		if row.Scheduler != "sharded" || row.Events != serial.Events || row.SpeedupVsSerial <= 0 {
+			t.Fatalf("sharded row inconsistent with serial: %+v", row)
+		}
+	}
+	// The freshly recorded baseline must gate its own smoke record.
+	cand := writeFile(t, "cand.json", fakeAgbenchRecord(1_000_000, 2.0, 40))
+	if err := run([]string{"-baseline", out, "-candidate", cand}); err != nil {
+		t.Fatalf("self-gate failed: %v", err)
+	}
+}

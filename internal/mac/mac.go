@@ -65,6 +65,23 @@ type Config struct {
 // convention).
 const RTSThresholdOff = 1 << 16
 
+// MinTxDelay returns the minimum delay between any MAC event and the
+// earliest transmission it can start: every StartTx happens inside a
+// timer armed at least SIFS (ACK/CTS/data responses) or DIFS (backoff
+// expiry) ahead of the event that armed it. The sharded scheduler uses
+// this as its conservative lookahead bound — within a window shorter
+// than MinTxDelay, no event can change the channel.
+func (c Config) MinTxDelay() time.Duration {
+	d := c.SIFS
+	if c.DIFS < d {
+		d = c.DIFS
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // DefaultConfig returns 802.11 DSSS parameters at the paper's 2 Mbps.
 func DefaultConfig() Config {
 	return Config{
@@ -132,6 +149,16 @@ type Stats struct {
 	// RTSSent and CTSSent count RTS/CTS control frames.
 	RTSSent uint64
 	CTSSent uint64
+	// ElidedEvents counts contention-step timers (defer wakes, backoff
+	// expiries, pending response transmissions) cancelled when their
+	// frame completed out from under them — events that would have
+	// fired as inflight-guarded no-ops before the MAC re-armed lazily.
+	// Adding it to the scheduler's processed count keeps the logical
+	// event total (and the golden digests pinned on it) identical to
+	// the eager-timer code. Cancels whose deadline lies beyond the
+	// horizon set with SetHorizon are excluded: the old code never
+	// reached those events either.
+	ElidedEvents uint64
 }
 
 // Callbacks connects the MAC to the network layer.
@@ -173,6 +200,14 @@ type DCF struct {
 	nextSeq  uint16
 	ackTimer sim.Timer
 	ctsTimer sim.Timer
+	// step is the pending timer driving the head frame's contention
+	// cycle (defer wake, backoff expiry, transmission end, or pending
+	// response). When the frame completes early — a late ACK during
+	// re-contention, say — finish cancels it instead of letting it fire
+	// as an inflight-guarded no-op; see Stats.ElidedEvents.
+	step sim.Timer
+	// horizon bounds elision accounting; see SetHorizon.
+	horizon sim.Time
 	// navUntil is the virtual carrier-sense deadline learned from
 	// overheard RTS/CTS duration fields.
 	navUntil sim.Time
@@ -195,7 +230,10 @@ func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID
 		cb:      cb,
 		lastSeq: make(map[pkt.NodeID]uint16),
 	}
-	tr, err := medium.Attach(id, pos, d.onRadio)
+	// Attach with the node's own scheduler as the transceiver clock:
+	// under the sharded kernel this is the node's shard lane, so
+	// carrier-sense reads inside parallel windows see the shard clock.
+	tr, err := medium.AttachOn(sched, id, pos, d.onRadio)
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +243,26 @@ func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID
 
 // ID returns the node ID.
 func (d *DCF) ID() pkt.NodeID { return d.id }
+
+// SetHorizon tells the MAC when the run ends, so cancelled step timers
+// scheduled past the end — events the eager-timer code would never
+// have executed — are excluded from Stats.ElidedEvents. A zero horizon
+// (the default) counts every cancel.
+func (d *DCF) SetHorizon(t sim.Time) { d.horizon = t }
+
+// elideStep cancels the pending contention-step timer, if any, and
+// accounts for the no-op event the cancel elides.
+func (d *DCF) elideStep() {
+	if d.step.IsZero() {
+		return
+	}
+	at := d.step.At()
+	d.step.Cancel()
+	if d.step.Cancelled() && (d.horizon == 0 || at <= d.horizon) {
+		d.stats.ElidedEvents++
+	}
+	d.step = sim.Timer{}
+}
 
 // Stats returns a copy of the MAC counters.
 func (d *DCF) Stats() Stats { return d.stats }
@@ -283,7 +341,7 @@ func (d *DCF) defer_() {
 	busyUntil := d.effectiveBusyUntil()
 	now := d.sched.Now()
 	if busyUntil > now {
-		d.sched.At(busyUntil, func() {
+		d.step = d.sched.At(busyUntil, func() {
 			if d.inflight == out {
 				d.defer_()
 			}
@@ -292,7 +350,9 @@ func (d *DCF) defer_() {
 	}
 	slots := d.rng.Intn(out.cw + 1)
 	wait := d.cfg.DIFS + time.Duration(slots)*d.cfg.SlotTime
-	d.sched.After(wait, func() {
+	// The expiry may start a transmission (AfterEmit); its DIFS floor
+	// is what makes Config.MinTxDelay a sound lookahead bound.
+	d.step = d.sched.AfterEmit(wait, func() {
 		if d.inflight != out {
 			return
 		}
@@ -337,7 +397,7 @@ func (d *DCF) transmitRTS(out *outgoing) {
 	}
 	d.stats.RTSSent++
 	d.stats.BytesSent += uint64(d.cfg.RTSBytes)
-	d.sched.After(d.ctlAirtime(d.cfg.RTSBytes), func() {
+	d.step = d.sched.After(d.ctlAirtime(d.cfg.RTSBytes), func() {
 		if d.inflight != out {
 			return
 		}
@@ -368,7 +428,7 @@ func (d *DCF) transmitData(out *outgoing) {
 			d.stats.UnicastSent++
 		}
 	}
-	d.sched.After(at, func() {
+	d.step = d.sched.After(at, func() {
 		if d.inflight != out {
 			return
 		}
@@ -401,6 +461,7 @@ func (d *DCF) retry(out *outgoing) {
 
 // finish completes the head frame and starts the next.
 func (d *DCF) finish(out *outgoing, ok bool) {
+	d.elideStep()
 	d.ackTimer.Cancel()
 	d.ackTimer = sim.Timer{}
 	d.ctsTimer.Cancel()
@@ -446,7 +507,7 @@ func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
 			d.ctsTimer.Cancel()
 			d.ctsTimer = sim.Timer{}
 			out := d.inflight
-			d.sched.After(d.cfg.SIFS, func() {
+			d.step = d.sched.AfterEmit(d.cfg.SIFS, func() {
 				if d.inflight == out {
 					d.transmitData(out)
 				}
@@ -467,7 +528,7 @@ func (d *DCF) onRTS(frm frame) {
 	if nav < 0 {
 		nav = 0
 	}
-	d.sched.After(d.cfg.SIFS, func() {
+	d.sched.AfterEmit(d.cfg.SIFS, func() {
 		if d.tr.Transmitting() {
 			return
 		}
@@ -492,7 +553,7 @@ func (d *DCF) onData(frm frame) {
 	}
 	// Acknowledge after SIFS unless we are mid-transmission (half-duplex;
 	// the sender will retry).
-	d.sched.After(d.cfg.SIFS, func() {
+	d.sched.AfterEmit(d.cfg.SIFS, func() {
 		if d.tr.Transmitting() {
 			return
 		}

@@ -152,11 +152,20 @@ var ErrDuplicateNode = errors.New("radio: node already attached")
 // the end of each reception. Handlers run inside the simulation event
 // loop. Attaching the same node ID twice fails with ErrDuplicateNode.
 func (m *Medium) Attach(id pkt.NodeID, pos mobility.Model, h Handler) (*Transceiver, error) {
+	return m.AttachOn(m.sched, id, pos, h)
+}
+
+// AttachOn registers a transceiver whose clock is sched — under the
+// sharded scheduler, the node's shard lane, so carrier-sense queries
+// made inside a parallel window read the node's own clock rather than
+// the coordinator's. With sched equal to the medium's scheduler it is
+// identical to Attach.
+func (m *Medium) AttachOn(sched *sim.Scheduler, id pkt.NodeID, pos mobility.Model, h Handler) (*Transceiver, error) {
 	if _, dup := m.byID[id]; dup {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, id)
 	}
 	t := &Transceiver{
-		id: id, medium: m, pos: pos, handler: h,
+		id: id, medium: m, sched: sched, pos: pos, handler: h,
 		idx: int32(len(m.nodes)),
 		// lastInterference must predate every possible transmission
 		// start; simulation time is never negative.
@@ -195,8 +204,12 @@ var ErrAlreadyTransmitting = errors.New("radio: transceiver already transmitting
 
 // Transceiver is one node's attachment to the medium.
 type Transceiver struct {
-	id      pkt.NodeID
-	medium  *Medium
+	id     pkt.NodeID
+	medium *Medium
+	// sched is the node's clock: the medium's scheduler under the
+	// serial kernel, the node's shard lane under the sharded one (the
+	// two agree whenever cross-node state is touched).
+	sched   *sim.Scheduler
 	pos     mobility.Model
 	handler Handler
 	// idx is the attach-order position in medium.nodes; receiver tables
@@ -230,12 +243,12 @@ func (t *Transceiver) ID() pkt.NodeID { return t.id }
 
 // Position returns the node's position at the current simulation time.
 func (t *Transceiver) Position() geom.Point {
-	return t.pos.Position(t.medium.sched.Now())
+	return t.pos.Position(t.sched.Now())
 }
 
 // Transmitting reports whether the transceiver has a frame on the air.
 func (t *Transceiver) Transmitting() bool {
-	return t.txEnd > t.medium.sched.Now()
+	return t.txEnd > t.sched.Now()
 }
 
 // Counters returns (frames sent, receptions delivered, receptions
@@ -251,7 +264,7 @@ func (t *Transceiver) Counters() (sent, delivered, collided uint64) {
 // activity), not O(all active transmissions).
 func (t *Transceiver) CarrierBusyUntil() sim.Time {
 	m := t.medium
-	now := m.sched.Now()
+	now := t.sched.Now()
 	var until sim.Time
 	if t.txEnd > now {
 		until = t.txEnd

@@ -147,6 +147,19 @@ type Config struct {
 	// differential testing. Both produce bit-identical results for the
 	// same seed.
 	EventQueue sim.QueueKind
+	// Scheduler selects the simulation kernel's execution engine. The
+	// default (sim.SchedulerSerial) is the single-threaded kernel;
+	// sim.SchedulerSharded partitions nodes into spatial shards and
+	// executes conservative lookahead windows on Workers goroutines.
+	// Both produce bit-identical results for the same seed.
+	Scheduler sim.SchedulerKind
+	// Workers bounds the goroutines the sharded scheduler uses (<= 0
+	// means one). Results are bit-identical for any worker count.
+	Workers int
+	// Shards is the sharded scheduler's spatial lane count (<= 0 means
+	// DefaultShards). Results are bit-identical for any shard count;
+	// shards only set the grain of available parallelism.
+	Shards int
 	// MinSpeed/MaxSpeed bound random-waypoint speeds (m/s).
 	MinSpeed, MaxSpeed float64
 	// MaxPause bounds the waypoint rest period (80 s in the paper).
@@ -264,8 +277,33 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: unknown event queue kind %d", int(c.EventQueue))
 	case c.RxModel != radio.ModelBatch && c.RxModel != radio.ModelRef:
 		return fmt.Errorf("scenario: unknown reception model %d", int(c.RxModel))
+	case c.Scheduler != sim.SchedulerSerial && c.Scheduler != sim.SchedulerSharded:
+		return fmt.Errorf("scenario: unknown scheduler kind %d (registered: %s)", int(c.Scheduler), sim.SchedulerNames())
+	case c.Scheduler == sim.SchedulerSharded && c.TraceCapacity > 0:
+		return fmt.Errorf("scenario: packet tracing requires the serial scheduler (the shared trace ring is not safe under parallel shard execution)")
 	}
 	return nil
+}
+
+// DefaultShards is the sharded scheduler's lane count when Config.
+// Shards is unset. It is fixed — independent of worker count and CPU
+// count — so a configuration names one exact run everywhere.
+const DefaultShards = 8
+
+// effShards returns the effective shard count.
+func (c Config) effShards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return DefaultShards
+}
+
+// effWorkers returns the effective worker count.
+func (c Config) effWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 1
 }
 
 // MemberResult reports one non-source member's outcome.
@@ -353,15 +391,23 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.sched.Run(cfg.Duration)
+	if w.coord != nil {
+		w.coord.Run(cfg.Duration)
+	} else {
+		w.sched.Run(cfg.Duration)
+	}
 	return w.collect(), nil
 }
 
 // world is one assembled simulation.
 type world struct {
-	cfg    Config
-	spec   stack.Spec
-	sched  *sim.Scheduler
+	cfg  Config
+	spec stack.Spec
+	// sched is the build-time and cross-node scheduler: the serial
+	// kernel, or the sharded coordinator's global lane.
+	sched *sim.Scheduler
+	// coord is the sharded coordinator, nil under the serial kernel.
+	coord  *sim.Sharded
 	medium *radio.Medium
 
 	stacks   []*node.Stack
@@ -385,7 +431,20 @@ func build(cfg Config) (*world, error) {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
 
-	w := &world{cfg: cfg, spec: spec, sched: sim.NewSchedulerQueue(cfg.EventQueue)}
+	w := &world{cfg: cfg, spec: spec}
+	if cfg.Scheduler == sim.SchedulerSharded {
+		w.coord = sim.NewSharded(sim.ShardedConfig{
+			Queue:   cfg.EventQueue,
+			Shards:  cfg.effShards(),
+			Workers: cfg.effWorkers(),
+			// Lookahead: no event can start a transmission sooner than
+			// the MAC's minimum arming delay (DESIGN.md §7).
+			Lookahead: cfg.MAC.MinTxDelay(),
+		})
+		w.sched = w.coord.Global()
+	} else {
+		w.sched = sim.NewSchedulerQueue(cfg.EventQueue)
+	}
 	w.medium = radio.NewMedium(w.sched, radio.Params{
 		Range: cfg.TxRange, Index: cfg.RadioIndex, Model: cfg.RxModel,
 	})
@@ -416,10 +475,20 @@ func build(cfg Config) (*world, error) {
 	for i := 0; i < cfg.Nodes; i++ {
 		id := pkt.NodeID(i + 1)
 		mob := mobility.NewWaypoint(mobCfg, root.Derive(fmt.Sprintf("mob/%d", i)))
-		st, err := node.New(w.sched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
+		nodeSched := w.sched
+		if w.coord != nil {
+			// Spatial stripes over the initial positions. Any static
+			// partition is bit-identical (correctness comes from shard
+			// ownership, not geometry); striping just keeps nearby nodes
+			// — whose events cluster at the same instants — on the same
+			// lane for load balance.
+			nodeSched = w.coord.Shard(stripeShard(mob.Position(0).X, cfg.Area.W, w.coord.NumShards()))
+		}
+		st, err := node.New(nodeSched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
+		st.MAC().SetHorizon(cfg.Duration)
 		if w.tracer != nil {
 			st.SetTracer(w.tracer.Record)
 		}
@@ -498,6 +567,18 @@ func build(cfg Config) (*world, error) {
 	return w, nil
 }
 
+// stripeShard maps an x coordinate onto one of n vertical stripes.
+func stripeShard(x, width float64, n int) int {
+	s := int(x / width * float64(n))
+	if s < 0 {
+		s = 0
+	}
+	if s >= n {
+		s = n - 1
+	}
+	return s
+}
+
 // noteLatency accumulates send-to-delivery delay for one delivered
 // packet.
 func (w *world) noteLatency(key pkt.SeqKey, recovered bool) {
@@ -535,16 +616,26 @@ func (w *world) sendData(idx int) {
 }
 
 func (w *world) collect() *Result {
+	processed := w.sched.Processed()
+	if w.coord != nil {
+		processed = w.coord.Processed()
+	}
+	// Logical events: the batched reception model folds per-receiver
+	// finish events into per-frame ones, and the MAC cancels contention
+	// timers whose frame completed early instead of letting them fire
+	// as no-ops; adding both elided counts keeps the metric — and the
+	// golden digests pinned on it — identical across reception models,
+	// indexes, queues and schedulers.
+	events := processed + w.medium.ElidedEvents()
+	for _, st := range w.stacks {
+		events += st.MAC().Stats().ElidedEvents
+	}
 	res := &Result{
-		Stack:  w.spec,
-		Seed:   w.cfg.Seed,
-		Sent:   w.sent,
-		Source: pkt.NodeID(w.memberIdx[0] + 1),
-		// Logical events: the batched reception model folds per-receiver
-		// finish events into per-frame ones; adding the elided count
-		// keeps the metric — and the golden digests pinned on it —
-		// identical across reception models.
-		Events:     w.sched.Processed() + w.medium.ElidedEvents(),
+		Stack:      w.spec,
+		Seed:       w.cfg.Seed,
+		Sent:       w.sent,
+		Source:     pkt.NodeID(w.memberIdx[0] + 1),
+		Events:     events,
 		MeanDegree: w.medium.MeanDegree(),
 		Trace:      w.tracer,
 	}

@@ -1,0 +1,683 @@
+// Sharded parallel scheduler (DESIGN.md §7).
+//
+// The coordinator partitions a simulation's event population into
+// per-region lanes (one pooled Scheduler per shard) plus one global
+// lane, and alternates between two execution modes:
+//
+//   - solo: single-threaded execution in exact serial order, used for
+//     every event that can touch cross-node state — radio finish
+//     events, scenario-level joins and sends (scheduled on the global
+//     lane), and the MAC's transmit-arming callbacks (declared via
+//     AfterEmit). All of these ride the coordinator's global queue.
+//
+//   - window: when the next lookahead window [T, T+δ) contains no
+//     global event, each shard executes its local events inside the
+//     window concurrently. Local events (plain After/At on a shard
+//     lane) may only touch their own node's state, read the frozen
+//     carrier-sense state, and schedule further events — the contract
+//     the MAC/protocol layers already satisfy.
+//
+// δ is the medium's minimum transmit arming delay (mac.Config
+// .MinTxDelay): every transmission is started from a timer armed at
+// least δ ahead, so no event inside the window can change the channel,
+// and carrier-sense reads commute with everything else in the window.
+//
+// Determinism: every event carries the rank it would have received
+// from the serial scheduler's allocation counter. Solo execution
+// allocates ranks directly. Window execution allocates per-shard band
+// keys (windowBase + per-shard counter — ordered correctly within a
+// shard, never compared across shards) and logs an execution record
+// per event; the window barrier then replays the logs in (time, rank)
+// order — a deterministic simulation of the serial allocation order —
+// and assigns exact ranks to everything the window scheduled. The
+// coordinator merges lanes by these exact ranks, so the event order,
+// and therefore every result bit, is identical to the serial kernel
+// regardless of shard count or worker count.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// SchedulerKind selects the simulation kernel's execution engine. Both
+// kinds execute bit-identical schedules; only wall time changes. This
+// extends the repo's fast-vs-reference pattern (grid/brute index,
+// quad/ref queue, batch/ref reception) with a serial/sharded axis.
+type SchedulerKind int
+
+const (
+	// SchedulerSerial (the default) is the single-threaded kernel.
+	SchedulerSerial SchedulerKind = iota
+	// SchedulerSharded is the parallel kernel: spatial shards execute
+	// conservative lookahead windows concurrently, with a barrier
+	// replay keeping the event order bit-identical to serial.
+	SchedulerSharded
+)
+
+// String names the kind as the agbench -scheduler flag spells it.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerSerial:
+		return "serial"
+	case SchedulerSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// SchedulerNames lists the registered scheduler kinds for CLI help and
+// validation errors.
+func SchedulerNames() string { return "serial, sharded" }
+
+const (
+	laneGlobal = -1
+	laneNone   = -2
+
+	// rankPending marks a slot scheduled inside a parallel window whose
+	// exact serial rank the barrier has not assigned yet.
+	rankPending = ^uint64(0)
+	// execTag marks a slot that executed inside the current window; the
+	// low bits index the shard's execution record for the barrier
+	// replay. Real ranks are event counts and never reach bit 63.
+	execTag = uint64(1) << 63
+)
+
+// gEvent is one cross-lane queue entry: the ordering key (at, rank)
+// plus the owning lane and pool slot of the callback. The same shape
+// doubles as a barrier-replay work item (lane = shard, slot = record
+// index).
+type gEvent struct {
+	at   Time
+	rank uint64
+	lane int32
+	slot int32
+}
+
+func (e gEvent) less(o gEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.rank < o.rank
+}
+
+// gHeap is an implicit 4-ary min-heap over gEvent, the same layout as
+// the kernel's quadQueue.
+type gHeap struct {
+	a []gEvent
+}
+
+func (h *gHeap) len() int     { return len(h.a) }
+func (h *gHeap) peek() gEvent { return h.a[0] }
+
+func (h *gHeap) push(e gEvent) {
+	h.a = append(h.a, e)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = e
+}
+
+func (h *gHeap) pop() gEvent {
+	a := h.a
+	min := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	h.a = a[:last]
+	if last > 1 {
+		h.siftDown(0)
+	}
+	return min
+}
+
+func (h *gHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	e := a[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].less(a[m]) {
+				m = j
+			}
+		}
+		if !a[m].less(e) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = e
+}
+
+// childRef records one event scheduled inside a parallel window, in
+// the shard's allocation order; the barrier resolves it to an exact
+// serial rank.
+type childRef struct {
+	at   Time
+	slot int32
+	gen  uint64
+	emit bool
+}
+
+// execRec is the log entry for one event executed inside a parallel
+// window: its time and serial rank (rankPending until the barrier
+// reaches it) plus the slice of children it scheduled.
+type execRec struct {
+	at         Time
+	rank       uint64
+	firstChild int32
+	nChild     int32
+}
+
+// shardCtx is a lane's link to its coordinator plus the lane's
+// window-local bookkeeping. During a window the executing worker owns
+// it exclusively; outside windows the coordinator does.
+type shardCtx struct {
+	coord *Sharded
+	idx   int32
+
+	bandCtr  uint64
+	children []childRef
+	recs     []execRec
+	// freed defers slot recycling to the barrier: the replay references
+	// this window's slots by generation, so none may be reused before
+	// it runs.
+	freed []int32
+}
+
+// at is the sharded At/AfterEmit path for both lane flavours.
+func (ctx *shardCtx) at(s *Scheduler, t Time, fn func(), emit bool) Timer {
+	c := ctx.coord
+	if !c.inWindow {
+		// Solo context: single-threaded, so ranks come straight off the
+		// shared counter, exactly as the serial kernel's seq would.
+		idx := s.alloc(fn, t)
+		sl := &s.pool[idx]
+		rank := c.rankCtr
+		c.rankCtr++
+		sl.rank = rank
+		if emit || ctx.idx == laneGlobal {
+			sl.global = true
+			c.gq.push(gEvent{at: t, rank: rank, lane: ctx.idx, slot: idx})
+		} else {
+			s.q.push(event{at: t, seq: rank, slot: idx})
+		}
+		return Timer{s: s, slot: idx, gen: sl.gen}
+	}
+	// Window context: only shard lanes execute here, and each worker
+	// owns its shard exclusively.
+	if ctx.idx == laneGlobal {
+		panic("sim: scheduling on the global lane during a parallel window")
+	}
+	idx := s.alloc(fn, t)
+	sl := &s.pool[idx]
+	sl.rank = rankPending
+	band := c.windowBase + ctx.bandCtr
+	ctx.bandCtr++
+	if emit {
+		if t < c.wEnd {
+			panic("sim: AfterEmit delay shorter than the scheduler's lookahead bound")
+		}
+		sl.global = true
+		// Staged: the barrier pushes it into the global queue once its
+		// exact rank is known.
+	} else {
+		s.q.push(event{at: t, seq: band, slot: idx})
+	}
+	ctx.children = append(ctx.children, childRef{at: t, slot: idx, gen: sl.gen, emit: emit})
+	return Timer{s: s, slot: idx, gen: sl.gen}
+}
+
+// ShardedConfig configures a sharded coordinator.
+type ShardedConfig struct {
+	// Queue is the event-queue implementation used by every lane.
+	Queue QueueKind
+	// Shards is the number of spatial lanes (minimum 1). Results are
+	// bit-identical for any shard count; shards only set the grain of
+	// available parallelism.
+	Shards int
+	// Workers bounds the goroutines executing windows (minimum 1).
+	// Results are bit-identical for any worker count.
+	Workers int
+	// Lookahead is the conservative window bound δ: the guaranteed
+	// minimum delay between any event and the earliest cross-node
+	// effect (transmission start) it can cause. Zero degenerates to
+	// solo execution everywhere — correct, but serial.
+	Lookahead Time
+}
+
+// Sharded coordinates per-region scheduler lanes into one run that is
+// bit-identical to the serial kernel. Construct with NewSharded, hand
+// each node a lane from Shard, schedule cross-node events on Global,
+// and drive the run with Run.
+type Sharded struct {
+	shards []*Scheduler
+	global *Scheduler
+	gq     gHeap
+	replay gHeap
+
+	rankCtr    uint64
+	windowBase uint64
+	delta      Time
+	workers    int
+
+	inWindow bool
+	wEnd     Time
+	stopped  bool
+
+	active []*Scheduler
+	jobs   chan *Scheduler
+	wg     sync.WaitGroup
+}
+
+// NewSharded returns a coordinator with the given lane layout, at time
+// zero.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	delta := cfg.Lookahead
+	if delta < 0 {
+		delta = 0
+	}
+	c := &Sharded{delta: delta, workers: workers}
+	c.global = &Scheduler{q: newEventQueue(cfg.Queue)}
+	c.global.shard = &shardCtx{coord: c, idx: laneGlobal}
+	for i := 0; i < shards; i++ {
+		s := &Scheduler{q: newEventQueue(cfg.Queue)}
+		s.shard = &shardCtx{coord: c, idx: int32(i)}
+		c.shards = append(c.shards, s)
+	}
+	return c
+}
+
+// Global returns the global lane: schedule events that touch
+// cross-node state here. It is also the clock scenario-level callbacks
+// should read.
+func (c *Sharded) Global() *Scheduler { return c.global }
+
+// Shard returns lane i; hand it to the node entities assigned to
+// shard i as their scheduler.
+func (c *Sharded) Shard(i int) *Scheduler { return c.shards[i] }
+
+// NumShards returns the lane count.
+func (c *Sharded) NumShards() int { return len(c.shards) }
+
+// Workers returns the configured worker bound.
+func (c *Sharded) Workers() int { return c.workers }
+
+// Lookahead returns the window bound δ.
+func (c *Sharded) Lookahead() Time { return c.delta }
+
+// Now returns the global lane's clock (the maximum solo instant
+// reached; after Run it equals the horizon).
+func (c *Sharded) Now() Time { return c.global.now }
+
+// Processed returns the number of events executed across all lanes.
+func (c *Sharded) Processed() uint64 {
+	n := c.global.processed
+	for _, s := range c.shards {
+		n += s.processed
+	}
+	return n
+}
+
+// Pending returns the number of live events scheduled across all
+// lanes, including staged and global-queue entries.
+func (c *Sharded) Pending() int {
+	n := c.gq.len()
+	for _, s := range c.shards {
+		n += s.q.len() - s.cancelled
+	}
+	return n
+}
+
+// Stop makes Run return once the event (or window) currently executing
+// completes.
+func (c *Sharded) Stop() { c.stopped = true }
+
+func (c *Sharded) laneSched(lane int32) *Scheduler {
+	if lane == laneGlobal {
+		return c.global
+	}
+	return c.shards[lane]
+}
+
+// setNowAll advances every lane clock to t (never backwards). Solo
+// events may schedule on any lane, so every clock must agree on the
+// solo instant.
+func (c *Sharded) setNowAll(t Time) {
+	if c.global.now < t {
+		c.global.now = t
+	}
+	for _, s := range c.shards {
+		if s.now < t {
+			s.now = t
+		}
+	}
+}
+
+// minHead returns the earliest pending event time across all lanes.
+func (c *Sharded) minHead() (Time, bool) {
+	t := Time(math.MaxInt64)
+	found := false
+	if c.gq.len() > 0 {
+		t = c.gq.peek().at
+		found = true
+	}
+	for _, s := range c.shards {
+		if s.q.len() > 0 {
+			found = true
+			if h := s.q.peek().at; h < t {
+				t = h
+			}
+		}
+	}
+	return t, found
+}
+
+// Run executes events in order until every lane is drained past
+// `until`. It is the sharded counterpart of Scheduler.Run and reports
+// the number of events executed by this call.
+func (c *Sharded) Run(until Time) uint64 {
+	start := c.Processed()
+	c.stopped = false
+	if c.workers > 1 && len(c.shards) > 1 && c.jobs == nil {
+		n := c.workers
+		if n > len(c.shards) {
+			n = len(c.shards)
+		}
+		jobs := make(chan *Scheduler, len(c.shards))
+		c.jobs = jobs
+		for i := 0; i < n; i++ {
+			go c.worker(jobs)
+		}
+		defer func() {
+			close(jobs)
+			c.jobs = nil
+		}()
+	}
+	for !c.stopped {
+		t, ok := c.minHead()
+		if !ok || t > until {
+			break
+		}
+		gAt := Time(math.MaxInt64)
+		if c.gq.len() > 0 {
+			gAt = c.gq.peek().at
+		}
+		if gAt <= t || c.delta <= 0 {
+			// The next instant contains a solo event (or there is no
+			// usable lookahead): run the instant in exact serial order.
+			c.sweep(t)
+			continue
+		}
+		wEnd := t + c.delta
+		if wEnd < t { // overflow
+			wEnd = Time(math.MaxInt64)
+		}
+		if wEnd > gAt {
+			wEnd = gAt
+		}
+		// Run only events at <= until: cap the exclusive bound just past
+		// the horizon.
+		if until < Time(math.MaxInt64) && wEnd > until+1 {
+			wEnd = until + 1
+		}
+		c.active = c.active[:0]
+		for _, s := range c.shards {
+			if s.q.len() > 0 && s.q.peek().at < wEnd {
+				c.active = append(c.active, s)
+			}
+		}
+		switch len(c.active) {
+		case 0:
+			c.sweep(t) // unreachable: t is a shard head below wEnd
+		case 1:
+			c.soloRun(c.active[0], wEnd)
+		default:
+			c.window(wEnd)
+		}
+	}
+	c.setNowAll(until)
+	return c.Processed() - start
+}
+
+func (c *Sharded) worker(jobs <-chan *Scheduler) {
+	for s := range jobs {
+		c.runWindow(s)
+		c.wg.Done()
+	}
+}
+
+// sweep executes every event at instant t, across all lanes, in exact
+// rank order — serial execution of one instant.
+func (c *Sharded) sweep(t Time) {
+	c.setNowAll(t)
+	for !c.stopped {
+		lane := int32(laneNone)
+		best := uint64(math.MaxUint64)
+		for c.gq.len() > 0 {
+			g := c.gq.peek()
+			if g.at != t {
+				break
+			}
+			s := c.laneSched(g.lane)
+			if s.pool[g.slot].state == slotCancelled {
+				c.gq.pop()
+				s.free = append(s.free, g.slot)
+				continue
+			}
+			lane, best = laneGlobal, g.rank
+			break
+		}
+		for si, s := range c.shards {
+			for s.q.len() > 0 {
+				e := s.q.peek()
+				if e.at != t {
+					break
+				}
+				if s.pool[e.slot].state == slotCancelled {
+					s.q.pop()
+					s.cancelled--
+					s.free = append(s.free, e.slot)
+					continue
+				}
+				if r := s.pool[e.slot].rank; r < best {
+					lane, best = int32(si), r
+				}
+				break
+			}
+		}
+		switch lane {
+		case laneNone:
+			return
+		case laneGlobal:
+			g := c.gq.pop()
+			s := c.laneSched(g.lane)
+			sl := &s.pool[g.slot]
+			fn := sl.fn
+			sl.fn = nil
+			sl.state = slotFired
+			s.free = append(s.free, g.slot)
+			fn()
+			s.processed++
+		default:
+			s := c.shards[lane]
+			e := s.q.pop()
+			s.fire(e)()
+			s.processed++
+		}
+	}
+}
+
+// soloRun executes one shard's events below wEnd single-threaded —
+// the degenerate window with nothing to parallelise, kept on the cheap
+// solo path (exact ranks inline, no barrier). It yields early if a
+// solo event surfaces on the global queue inside the span.
+func (c *Sharded) soloRun(s *Scheduler, wEnd Time) {
+	for s.q.len() > 0 && !c.stopped {
+		e := s.q.peek()
+		if e.at >= wEnd {
+			return
+		}
+		// A previously executed event may have scheduled an emitting
+		// event inside the span; fall back to the main loop so the
+		// instants merge in rank order.
+		if c.gq.len() > 0 && c.gq.peek().at <= e.at {
+			return
+		}
+		s.q.pop()
+		if s.pool[e.slot].state == slotCancelled {
+			s.cancelled--
+			s.free = append(s.free, e.slot)
+			continue
+		}
+		s.now = e.at
+		s.fire(e)()
+		s.processed++
+	}
+}
+
+// window executes [windowBase, wEnd) across the active shards
+// concurrently, then replays the barrier to restore exact serial
+// ranks.
+func (c *Sharded) window(wEnd Time) {
+	c.windowBase = c.rankCtr
+	c.wEnd = wEnd
+	c.inWindow = true
+	if c.jobs != nil {
+		c.wg.Add(len(c.active))
+		for _, s := range c.active {
+			c.jobs <- s
+		}
+		c.wg.Wait()
+	} else {
+		for _, s := range c.active {
+			c.runWindow(s)
+		}
+	}
+	c.inWindow = false
+	c.barrier()
+}
+
+// runWindow executes one shard's events below wEnd. The worker owns
+// the shard exclusively: its pool, queue, clock and window log. Fired
+// and cancelled-popped slots are released at the barrier, not here, so
+// the replay can still resolve them by generation.
+func (c *Sharded) runWindow(s *Scheduler) {
+	ctx := s.shard
+	wEnd := c.wEnd
+	for s.q.len() > 0 {
+		e := s.q.peek()
+		if e.at >= wEnd {
+			break
+		}
+		s.q.pop()
+		sl := &s.pool[e.slot]
+		if sl.state == slotCancelled {
+			s.cancelled--
+			ctx.freed = append(ctx.freed, e.slot)
+			continue
+		}
+		s.now = e.at
+		fn := sl.fn
+		sl.fn = nil
+		sl.state = slotFired
+		rec := execRec{at: e.at, rank: sl.rank, firstChild: int32(len(ctx.children))}
+		sl.rank = execTag | uint64(len(ctx.recs))
+		ctx.freed = append(ctx.freed, e.slot)
+		fn()
+		rec.nChild = int32(len(ctx.children)) - rec.firstChild
+		ctx.recs = append(ctx.recs, rec)
+		s.processed++
+	}
+	if s.now < wEnd {
+		s.now = wEnd
+	}
+}
+
+// barrier replays the window's execution logs in (time, rank) order —
+// reproducing the order in which the serial kernel would have executed
+// these events — and assigns each scheduled child the exact rank the
+// serial allocation counter would have issued. Staged emitting events
+// enter the global queue here, ranked; deferred slots are recycled.
+func (c *Sharded) barrier() {
+	h := &c.replay
+	h.a = h.a[:0]
+	for _, s := range c.active {
+		ctx := s.shard
+		for ri := range ctx.recs {
+			if ctx.recs[ri].rank != rankPending {
+				h.push(gEvent{at: ctx.recs[ri].at, rank: ctx.recs[ri].rank, lane: ctx.idx, slot: int32(ri)})
+			}
+		}
+	}
+	ctr := c.rankCtr
+	for h.len() > 0 {
+		it := h.pop()
+		s := c.shards[it.lane]
+		ctx := s.shard
+		rec := ctx.recs[it.slot]
+		for ci := rec.firstChild; ci < rec.firstChild+rec.nChild; ci++ {
+			ch := ctx.children[ci]
+			rank := ctr
+			ctr++
+			sl := &s.pool[ch.slot]
+			if sl.gen != ch.gen {
+				// The child was cancelled and its slot compacted away;
+				// it still consumed a serial rank.
+				continue
+			}
+			switch {
+			case sl.rank == rankPending:
+				sl.rank = rank
+			case sl.rank&execTag != 0:
+				// The child itself executed inside the window: rank its
+				// record and replay its own children in turn.
+				cri := int32(sl.rank &^ execTag)
+				ctx.recs[cri].rank = rank
+				h.push(gEvent{at: ch.at, rank: rank, lane: it.lane, slot: cri})
+			default:
+				sl.rank = rank
+			}
+			if ch.emit {
+				c.gq.push(gEvent{at: ch.at, rank: rank, lane: it.lane, slot: ch.slot})
+			}
+		}
+	}
+	c.rankCtr = ctr
+	for _, s := range c.active {
+		ctx := s.shard
+		for _, idx := range ctx.freed {
+			s.free = append(s.free, idx)
+		}
+		ctx.freed = ctx.freed[:0]
+		ctx.recs = ctx.recs[:0]
+		ctx.children = ctx.children[:0]
+		ctx.bandCtr = 0
+	}
+}

@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The differential harness below drives a serial Scheduler and a
+// Sharded coordinator with the same synthetic workload and demands the
+// complete observable behaviour match: per-lane fire sequences, the
+// global (solo) fire sequence, each local event's view of how many
+// global events preceded it, processed counts and clocks.
+//
+// The workload honours the same contract the MAC/protocol layers do —
+// the contract the sharded kernel's correctness rests on:
+//
+//   - a local event touches only its own lane's state, schedules only
+//     on its own lane (After, any delay, including zero) or via
+//     AfterEmit with delay >= the lookahead bound, and cancels only
+//     its own lane's timers;
+//   - emitting and global-lane events execute solo and may schedule
+//     onto or cancel timers on any lane.
+//
+// Everything an event does is derived deterministically from its id
+// (splitmix64), and child ids are tree-coded (id*5+k+base) so both
+// kernels generate the identical workload without sharing a counter.
+
+const (
+	harnessLookahead = 4 * time.Millisecond
+	harnessHorizon   = 3 * time.Second
+	// harnessMaxID truncates the spawn tree: events with larger ids are
+	// leaves. Initial ids sit below harnessIDBase, so child ids never
+	// collide with roots or with other parents' children.
+	harnessMaxID  = 200_000
+	harnessIDBase = 1 << 12
+)
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func childID(id uint64, k int) uint64 { return id*5 + uint64(k) + harnessIDBase }
+
+type fireRec struct {
+	id    uint64
+	at    Time
+	epoch uint64 // global events fired before this one
+}
+
+// shardSide is one kernel under test plus the workload state it
+// mutates. lanes[i] is the scheduler a lane-i event schedules on; on
+// the serial side every entry is the same scheduler, so the identical
+// workload code drives both kernels.
+type shardSide struct {
+	lanes  []*Scheduler
+	global *Scheduler
+
+	epoch   uint64
+	gFired  []fireRec
+	lFired  [][]fireRec
+	lTimers [][]Timer
+}
+
+func newSerialSide(nLanes int, queue QueueKind) *shardSide {
+	s := NewSchedulerQueue(queue)
+	w := &shardSide{global: s, lFired: make([][]fireRec, nLanes), lTimers: make([][]Timer, nLanes)}
+	for i := 0; i < nLanes; i++ {
+		w.lanes = append(w.lanes, s)
+	}
+	return w
+}
+
+func newShardedSide(c *Sharded) *shardSide {
+	n := c.NumShards()
+	w := &shardSide{global: c.Global(), lFired: make([][]fireRec, n), lTimers: make([][]Timer, n)}
+	for i := 0; i < n; i++ {
+		w.lanes = append(w.lanes, c.Shard(i))
+	}
+	return w
+}
+
+func (w *shardSide) spawnLocal(lane int, id uint64, d Time) {
+	tm := w.lanes[lane].After(d, func() { w.runLocal(lane, id) })
+	w.lTimers[lane] = append(w.lTimers[lane], tm)
+}
+
+func (w *shardSide) spawnEmit(lane int, id uint64, d Time) {
+	tm := w.lanes[lane].AfterEmit(d, func() { w.runGlobal(id) })
+	w.lTimers[lane] = append(w.lTimers[lane], tm)
+}
+
+func (w *shardSide) spawnGlobal(id uint64, d Time) {
+	w.global.After(d, func() { w.runGlobal(id) })
+}
+
+// runLocal is a lane-local event: own-lane state only.
+func (w *shardSide) runLocal(lane int, id uint64) {
+	w.lFired[lane] = append(w.lFired[lane], fireRec{id, w.lanes[lane].Now(), w.epoch})
+	r := splitmix(id)
+	if id < harnessMaxID {
+		n := int(r % 3)
+		r /= 3
+		for k := 0; k < n; k++ {
+			d := Time(r%32) * time.Millisecond
+			r /= 32
+			w.spawnLocal(lane, childID(id, k), d)
+		}
+		if r%4 == 0 {
+			r /= 4
+			d := harnessLookahead + Time(r%32)*time.Millisecond
+			r /= 32
+			w.spawnEmit(lane, childID(id, 3), d)
+		}
+	}
+	if r%3 == 0 && len(w.lTimers[lane]) > 0 {
+		w.lTimers[lane][int(r>>8)%len(w.lTimers[lane])].Cancel()
+	}
+}
+
+// runGlobal is a solo event (global lane or emitted): it may reach
+// into any lane, like a radio delivery or a scenario-driven send.
+func (w *shardSide) runGlobal(id uint64) {
+	w.gFired = append(w.gFired, fireRec{id, w.global.Now(), w.epoch})
+	w.epoch++
+	r := splitmix(id ^ 0xabcdef)
+	if id < harnessMaxID {
+		n := int(r % 3)
+		r /= 3
+		for k := 0; k < n; k++ {
+			lane := int(r % uint64(len(w.lanes)))
+			r /= 7
+			d := Time(r%32) * time.Millisecond
+			r /= 32
+			w.spawnLocal(lane, childID(id, k), d)
+		}
+	}
+	if r%3 == 0 {
+		lane := int(r>>4) % len(w.lanes)
+		if len(w.lTimers[lane]) > 0 {
+			w.lTimers[lane][int(r>>16)%len(w.lTimers[lane])].Cancel()
+		}
+	}
+}
+
+// seedWorkload plants the identical initial event population on a side.
+func (w *shardSide) seedWorkload(seed uint64) {
+	r := splitmix(seed)
+	n0 := 8 + int(r%24)
+	for i := 0; i < n0; i++ {
+		rr := splitmix(seed ^ uint64(i+1))
+		d := Time(rr%200) * time.Millisecond
+		id := uint64(i)
+		if int(rr>>8)%(len(w.lanes)+1) == len(w.lanes) {
+			w.spawnGlobal(id, d)
+		} else {
+			w.spawnLocal(int(rr>>8)%len(w.lanes), id, d)
+		}
+	}
+}
+
+func compareSides(t testing.TB, label string, serial, sharded *shardSide, sn uint64, cn uint64) {
+	t.Helper()
+	if sn != cn {
+		t.Fatalf("%s: processed diverged: serial %d, sharded %d", label, sn, cn)
+	}
+	if len(serial.gFired) != len(sharded.gFired) {
+		t.Fatalf("%s: global fires diverged: serial %d, sharded %d",
+			label, len(serial.gFired), len(sharded.gFired))
+	}
+	for i := range serial.gFired {
+		if serial.gFired[i] != sharded.gFired[i] {
+			t.Fatalf("%s: global fire %d diverged: serial %+v, sharded %+v",
+				label, i, serial.gFired[i], sharded.gFired[i])
+		}
+	}
+	for lane := range serial.lFired {
+		a, b := serial.lFired[lane], sharded.lFired[lane]
+		if len(a) != len(b) {
+			t.Fatalf("%s: lane %d fires diverged: serial %d, sharded %d", label, lane, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: lane %d fire %d diverged: serial %+v, sharded %+v",
+					label, lane, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// runShardDifferential drives both kernels with the workload derived
+// from seed and compares every observable.
+func runShardDifferential(t testing.TB, seed uint64, nLanes, workers int, queue QueueKind, lookahead Time) {
+	t.Helper()
+	label := fmt.Sprintf("seed=%d lanes=%d workers=%d la=%v", seed, nLanes, workers, lookahead)
+
+	serial := newSerialSide(nLanes, queue)
+	serial.seedWorkload(seed)
+	sn := serial.global.Run(harnessHorizon)
+
+	coord := NewSharded(ShardedConfig{Queue: queue, Shards: nLanes, Workers: workers, Lookahead: lookahead})
+	sharded := newShardedSide(coord)
+	sharded.seedWorkload(seed)
+	cn := coord.Run(harnessHorizon)
+
+	compareSides(t, label, serial, sharded, sn, cn)
+	if serial.global.Now() != coord.Now() {
+		t.Fatalf("%s: clocks diverged: serial %v, sharded %v", label, serial.global.Now(), coord.Now())
+	}
+	if coord.Pending() < 0 {
+		t.Fatalf("%s: negative pending count %d", label, coord.Pending())
+	}
+}
+
+// TestShardedDifferentialSynthetic sweeps seeds across lane/worker
+// layouts — the property half of the fuzz/differential story for the
+// sharded kernel.
+func TestShardedDifferentialSynthetic(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, layout := range []struct{ lanes, workers int }{
+		{1, 1}, {3, 1}, {3, 4}, {8, 2}, {8, 8},
+	} {
+		for seed := 0; seed < seeds; seed++ {
+			runShardDifferential(t, uint64(seed), layout.lanes, layout.workers, QueueQuad, harnessLookahead)
+		}
+	}
+}
+
+// TestShardedDifferentialZeroLookahead pins the degenerate case: with
+// no usable lookahead the coordinator must fall back to pure sweeps
+// and still execute the exact serial schedule.
+func TestShardedDifferentialZeroLookahead(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		runShardDifferential(t, uint64(seed), 4, 4, QueueQuad, 0)
+	}
+}
+
+// TestShardedDifferentialRefQueue crosses the scheduler axis with the
+// queue axis at the kernel level.
+func TestShardedDifferentialRefQueue(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		runShardDifferential(t, uint64(seed), 4, 2, QueueRef, harnessLookahead)
+	}
+}
+
+// FuzzShardedDifferential lets the fuzzer hunt for quantised-time
+// event traces that make the sharded coordinator and the serial kernel
+// disagree. `go test` runs the seed corpus; `go test -fuzz
+// FuzzShardedDifferential ./internal/sim` explores.
+func FuzzShardedDifferential(f *testing.F) {
+	f.Add(uint64(0), uint8(1), uint8(1))
+	f.Add(uint64(1), uint8(3), uint8(4))
+	f.Add(uint64(7), uint8(8), uint8(2))
+	f.Add(uint64(1234567), uint8(5), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, lanes, workers uint8) {
+		nLanes := int(lanes%8) + 1
+		nWorkers := int(workers%8) + 1
+		runShardDifferential(t, seed, nLanes, nWorkers, QueueQuad, harnessLookahead)
+	})
+}
+
+// TestShardedSameInstantMerge pins the sweep's rank merge: locals and
+// globals landing on one instant must interleave exactly as the serial
+// kernel's insertion sequence dictates.
+func TestShardedSameInstantMerge(t *testing.T) {
+	run := func(mk func() (*Scheduler, *Scheduler, func(Time) uint64)) []int {
+		lane, global, drive := mk()
+		var order []int
+		at := 10 * time.Millisecond
+		lane.At(at, func() { order = append(order, 0) })
+		global.At(at, func() { order = append(order, 1) })
+		lane.At(at, func() {
+			order = append(order, 2)
+			lane.At(at, func() { order = append(order, 4) })
+		})
+		global.At(at, func() { order = append(order, 3) })
+		drive(time.Second)
+		return order
+	}
+	serial := run(func() (*Scheduler, *Scheduler, func(Time) uint64) {
+		s := NewScheduler()
+		return s, s, s.Run
+	})
+	sharded := run(func() (*Scheduler, *Scheduler, func(Time) uint64) {
+		c := NewSharded(ShardedConfig{Shards: 2, Workers: 2, Lookahead: time.Millisecond})
+		return c.Shard(0), c.Global(), c.Run
+	})
+	if fmt.Sprint(serial) != fmt.Sprint(sharded) {
+		t.Fatalf("same-instant order diverged: serial %v, sharded %v", serial, sharded)
+	}
+	if len(serial) != 5 {
+		t.Fatalf("serial fired %d of 5 events: %v", len(serial), serial)
+	}
+}
+
+// TestShardedAfterEmitGuard: an emitting event scheduled inside a
+// parallel window with a delay below the lookahead bound would be a
+// causality violation — the kernel must refuse loudly rather than
+// diverge silently.
+func TestShardedAfterEmitGuard(t *testing.T) {
+	c := NewSharded(ShardedConfig{Shards: 2, Workers: 1, Lookahead: 4 * time.Millisecond})
+	// Both lanes active below wEnd and no global event: a window forms.
+	c.Shard(0).After(time.Millisecond, func() {
+		c.Shard(0).AfterEmit(time.Millisecond, func() {})
+	})
+	c.Shard(1).After(time.Millisecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AfterEmit below the lookahead bound inside a window did not panic")
+		}
+	}()
+	c.Run(time.Second)
+}
+
+// TestShardedLaneRunPanics: driving a lane directly would bypass the
+// coordinator's ordering machinery; the kernel must refuse.
+func TestShardedLaneRunPanics(t *testing.T) {
+	c := NewSharded(ShardedConfig{Shards: 2, Workers: 1, Lookahead: time.Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run on a sharded lane did not panic")
+		}
+	}()
+	c.Shard(0).Run(time.Second)
+}
+
+// TestShardedStop: Stop must halt the run at an event boundary, like
+// the serial scheduler's Stop.
+func TestShardedStop(t *testing.T) {
+	c := NewSharded(ShardedConfig{Shards: 2, Workers: 1, Lookahead: time.Millisecond})
+	fired := 0
+	c.Global().After(time.Millisecond, func() { fired++; c.Stop() })
+	c.Global().After(2*time.Millisecond, func() { fired++ })
+	c.Run(time.Second)
+	if fired != 1 {
+		t.Fatalf("fired %d events after Stop, want 1", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d after Stop, want the 1 unexecuted event", c.Pending())
+	}
+	// The run can resume.
+	c.Run(time.Second)
+	if fired != 2 {
+		t.Fatalf("resume executed %d total, want 2", fired)
+	}
+}
+
+// TestShardedAccessors pins the coordinator's config clamping and
+// introspection surface.
+func TestShardedAccessors(t *testing.T) {
+	c := NewSharded(ShardedConfig{Shards: 0, Workers: 0, Lookahead: -time.Second})
+	if c.NumShards() != 1 || c.Workers() != 1 || c.Lookahead() != 0 {
+		t.Fatalf("clamping failed: shards=%d workers=%d la=%v", c.NumShards(), c.Workers(), c.Lookahead())
+	}
+	c = NewSharded(ShardedConfig{Shards: 4, Workers: 2, Lookahead: time.Millisecond})
+	if c.NumShards() != 4 || c.Workers() != 2 || c.Lookahead() != time.Millisecond {
+		t.Fatalf("config not honoured: shards=%d workers=%d la=%v", c.NumShards(), c.Workers(), c.Lookahead())
+	}
+	if c.Now() != 0 || c.Processed() != 0 || c.Pending() != 0 {
+		t.Fatalf("fresh coordinator not at rest: now=%v processed=%d pending=%d", c.Now(), c.Processed(), c.Pending())
+	}
+	c.Run(time.Second)
+	if c.Now() != time.Second {
+		t.Fatalf("idle run left clock at %v, want the horizon", c.Now())
+	}
+}
+
+// TestSchedulerKindString pins the CLI spellings.
+func TestSchedulerKindString(t *testing.T) {
+	if SchedulerSerial.String() != "serial" || SchedulerSharded.String() != "sharded" {
+		t.Fatalf("kind names diverged: %v, %v", SchedulerSerial, SchedulerSharded)
+	}
+	if got := SchedulerKind(9).String(); got != "SchedulerKind(9)" {
+		t.Fatalf("unknown kind stringer: %q", got)
+	}
+	if SchedulerNames() != "serial, sharded" {
+		t.Fatalf("SchedulerNames: %q", SchedulerNames())
+	}
+}

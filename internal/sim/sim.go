@@ -57,8 +57,21 @@ type slot struct {
 	// gen is 64-bit so it cannot wrap within any feasible run: a
 	// wrapped stamp would let an ancient stale handle alias the slot's
 	// live occupant.
-	gen   uint64
+	gen uint64
+	// rank is the event's position in the serial total order. Under the
+	// serial scheduler it simply mirrors the queue key's seq. Under the
+	// sharded scheduler it is the ground truth the coordinator merges
+	// lanes by: events scheduled inside a parallel window carry
+	// rankPending until the window barrier replays the serial
+	// allocation order and assigns exact ranks (see shard.go).
+	rank  uint64
 	state slotState
+	// global marks events routed through the sharded coordinator's
+	// cross-shard queue rather than the owning lane's local heap (always
+	// false under the serial scheduler). Cancelling such an event must
+	// not trigger local-heap compaction: its queue entry is not in the
+	// local heap, so compaction could never reclaim it.
+	global bool
 }
 
 // Timer is a handle for a scheduled event: a pool index plus the
@@ -115,6 +128,11 @@ func (t Timer) Cancel() {
 	}
 	sl.state = slotCancelled
 	sl.fn = nil // release captured state promptly
+	if sl.global {
+		// The entry rides in the coordinator's cross-shard queue and is
+		// reclaimed when popped there; local compaction cannot reach it.
+		return
+	}
 	t.s.noteCancelled()
 }
 
@@ -160,6 +178,12 @@ type Scheduler struct {
 	// cancelled counts slots in the queue whose Cancel ran; Pending
 	// subtracts it and compact drops them.
 	cancelled int
+
+	// shard is non-nil when this scheduler is one lane of a Sharded
+	// coordinator (a per-region lane, or the coordinator's global lane).
+	// It reroutes At/AfterEmit through the coordinator's ordering
+	// machinery; see shard.go. Nil for ordinary serial schedulers.
+	shard *shardCtx
 }
 
 // NewScheduler returns a scheduler positioned at time zero, using the
@@ -193,6 +217,12 @@ func (s *Scheduler) Pending() int { return s.q.len() - s.cancelled }
 func (s *Scheduler) noteCancelled() {
 	s.cancelled++
 	if s.cancelled >= 64 && s.cancelled > s.q.len()/2 {
+		// During a parallel window the barrier replay still references
+		// this window's slots by generation; defer compaction until the
+		// lane is back under coordinator control.
+		if s.shard != nil && s.shard.coord.inWindow {
+			return
+		}
 		s.compact()
 	}
 }
@@ -238,6 +268,46 @@ func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
+	if s.shard != nil {
+		return s.shard.at(s, t, fn, false)
+	}
+	idx := s.alloc(fn, t)
+	s.pool[idx].rank = s.seq
+	s.q.push(event{at: t, seq: s.seq, slot: idx})
+	s.seq++
+	return Timer{s: s, slot: idx, gen: s.pool[idx].gen}
+}
+
+// AfterEmit schedules fn like After, with a contract the sharded
+// scheduler depends on: the callback may touch state shared across
+// nodes — start a radio transmission, mutate the medium — where a
+// callback scheduled with plain After/At may only touch its own node's
+// state (and schedule further events). Under the serial scheduler the
+// two are identical. Under the sharded scheduler, AfterEmit events are
+// routed through the coordinator's global queue and executed solo,
+// which is what lets every other event run inside a parallel window;
+// the delay must be at least the coordinator's lookahead bound (the
+// MAC's minimum transmit arming delay guarantees this).
+func (s *Scheduler) AfterEmit(d Time, fn func()) Timer {
+	if s.shard == nil {
+		return s.After(d, fn)
+	}
+	if fn == nil {
+		panic("sim: AfterEmit called with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := s.now + d
+	if t < s.now { // overflow: saturate, don't wrap into the past
+		t = Time(math.MaxInt64)
+	}
+	return s.shard.at(s, t, fn, true)
+}
+
+// alloc claims a pool slot for a pending event, recycling from the free
+// list when possible. The caller fills in rank and enqueues the entry.
+func (s *Scheduler) alloc(fn func(), t Time) int32 {
 	var idx int32
 	if n := len(s.free); n > 0 {
 		idx = s.free[n-1]
@@ -245,13 +315,12 @@ func (s *Scheduler) At(t Time, fn func()) Timer {
 		sl := &s.pool[idx]
 		sl.gen++ // invalidate handles from the previous lifecycle
 		sl.fn, sl.at, sl.state = fn, t, slotPending
+		sl.global = false
 	} else {
 		idx = int32(len(s.pool))
 		s.pool = append(s.pool, slot{fn: fn, at: t, state: slotPending})
 	}
-	s.q.push(event{at: t, seq: s.seq, slot: idx})
-	s.seq++
-	return Timer{s: s, slot: idx, gen: s.pool[idx].gen}
+	return idx
 }
 
 // fire pops the given entry's slot into the fired state, releases the
@@ -275,6 +344,9 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // executed event, or at `until` if the queue drained earlier events only.
 // It reports the number of events executed by this call.
 func (s *Scheduler) Run(until Time) uint64 {
+	if s.shard != nil {
+		panic("sim: Run called on a sharded lane; drive the run through Sharded.Run")
+	}
 	var n uint64
 	s.stopped = false
 	for s.q.len() > 0 && !s.stopped {
@@ -302,6 +374,9 @@ func (s *Scheduler) Run(until Time) uint64 {
 // It reports the number executed and whether the queue drained completely.
 // It is intended for tests; simulations should use Run with a horizon.
 func (s *Scheduler) RunAll(maxEvents uint64) (uint64, bool) {
+	if s.shard != nil {
+		panic("sim: RunAll called on a sharded lane; drive the run through Sharded.Run")
+	}
 	var n uint64
 	s.stopped = false
 	for s.q.len() > 0 && n < maxEvents && !s.stopped {
