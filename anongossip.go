@@ -172,18 +172,30 @@ const (
 
 // QueueKind selects the simulation kernel's event-queue implementation
 // (see Config.EventQueue). The pooled 4-ary heap is allocation-free on
-// the push/pop path; the container/heap reference is kept for
-// differential testing. Both produce bit-identical results for the
-// same seed.
+// the push/pop path; the calendar/bucket queue turns the clustered
+// timestamps of 10k+-node runs into O(1) operations; the
+// container/heap reference is kept for differential testing. All kinds
+// produce bit-identical results for the same seed.
 type QueueKind = sim.QueueKind
 
 // Event-queue implementations.
 const (
 	// QueueQuad (the default) is the pooled, indexed 4-ary min-heap.
 	QueueQuad = sim.QueueQuad
+	// QueueCal is the self-resizing calendar/bucket queue.
+	QueueCal = sim.QueueCal
 	// QueueRef is the original container/heap binary heap.
 	QueueRef = sim.QueueRef
 )
+
+// QueueNames lists the registered event-queue kinds as ParseQueueKind
+// spells them.
+func QueueNames() string { return sim.QueueNames() }
+
+// ParseQueueKind resolves a -queue flag value ("quad", "cal", "ref")
+// to a QueueKind; the error of an unknown name enumerates the
+// registered kinds.
+func ParseQueueKind(name string) (QueueKind, error) { return sim.ParseQueueKind(name) }
 
 // SchedulerKind selects the simulation kernel's execution engine (see
 // Config.Scheduler). The serial kernel executes events one at a time;

@@ -319,6 +319,18 @@ func BenchmarkLargeScale1000GridQueueRef(b *testing.B) {
 	benchLargeScale(b, 1000, radio.IndexGrid, sim.QueueRef, radio.ModelBatch, 30*time.Second)
 }
 
+// The 10k-node pair is the PR 7 acceptance point (DESIGN.md §8,
+// EXPERIMENTS.md §Q, BENCH_PR7.json): the QueueCal variant reruns the
+// same bit-identical workload on the calendar/bucket queue. Each
+// iteration simulates ~66M events, so run these with -benchtime=1x;
+// they exist for explicit before/after profiling, not for CI timing.
+func BenchmarkLargeScale10000Grid(b *testing.B) {
+	benchLargeScale(b, 10000, radio.IndexGrid, sim.QueueQuad, radio.ModelBatch, 10*time.Second)
+}
+func BenchmarkLargeScale10000GridQueueCal(b *testing.B) {
+	benchLargeScale(b, 10000, radio.IndexGrid, sim.QueueCal, radio.ModelBatch, 10*time.Second)
+}
+
 // The RxRef variants rerun the grid benchmarks with the per-receiver
 // reference reception path: the gap against the matching Grid benchmark
 // isolates the batched reception refactor's end-to-end win on

@@ -189,7 +189,7 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", 0, "concurrent runs (0 = NumCPU)")
 		duration   = fs.Duration("duration", 600*time.Second, "simulated time per run (shrink for quick previews)")
 		index      = fs.String("index", "grid", "radio neighbour index: grid | brute")
-		queue      = fs.String("queue", "quad", "scheduler event queue: quad | ref")
+		queue      = fs.String("queue", "quad", "scheduler event queue: "+sim.QueueNames())
 		rxmodel    = fs.String("rxmodel", "batch", "radio reception model: batch | ref")
 		schedStr   = fs.String("scheduler", "serial", "simulation kernel: "+sim.SchedulerNames())
 		workers    = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
@@ -226,14 +226,9 @@ func run(args []string) error {
 		return fmt.Errorf("invalid -index %q (want grid or brute)", *index)
 	}
 
-	var queueKind sim.QueueKind
-	switch *queue {
-	case "quad":
-		queueKind = sim.QueueQuad
-	case "ref":
-		queueKind = sim.QueueRef
-	default:
-		return fmt.Errorf("invalid -queue %q (want quad or ref)", *queue)
+	queueKind, err := sim.ParseQueueKind(*queue)
+	if err != nil {
+		return fmt.Errorf("invalid -queue: %w", err)
 	}
 
 	var rxModel radio.ReceptionModel

@@ -16,7 +16,8 @@
 //
 // -scheduler picks the simulation kernel: serial (default) or sharded,
 // the parallel conservative-lookahead engine (-workers goroutines,
-// 0 = NumCPU). Both produce bit-identical results for the same seed —
+// 0 = NumCPU). -queue picks the kernel's event queue (quad, cal, ref).
+// Every combination produces bit-identical results for the same seed —
 // only wall time changes.
 package main
 
@@ -55,7 +56,9 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		schedStr = fs.String("scheduler", "serial",
 			"simulation kernel: serial | sharded (bit-identical results; sharded runs lookahead windows on -workers goroutines)")
-		workers  = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
+		workers = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
+		queue   = fs.String("queue", "quad",
+			"kernel event queue: "+anongossip.QueueNames()+" (bit-identical results; only wall time changes)")
 		interval = fs.Duration("gossip-interval", time.Second, "gossip round period")
 		panon    = fs.Float64("panon", 0.7, "probability of anonymous vs cached gossip")
 		verbose  = fs.Bool("verbose", false, "print per-member rows")
@@ -96,6 +99,9 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	if cfg.Scheduler == anongossip.SchedulerSharded && cfg.Workers == 0 {
 		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.EventQueue, err = anongossip.ParseQueueKind(*queue); err != nil {
+		return fmt.Errorf("invalid -queue: %w", err)
 	}
 	cfg.Gossip.Interval = *interval
 	cfg.Gossip.PAnon = *panon

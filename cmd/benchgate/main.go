@@ -7,26 +7,36 @@
 //
 //	agbench -fig dense -dense-nodes 100 -dense-max 20 -seeds 1 \
 //	        -duration 75s -json fresh.json
-//	benchgate -baseline BENCH_PR6.json -candidate fresh.json
+//	benchgate -baseline BENCH_PR7.json -candidate fresh.json
 //
 // The gate compares sweep-wide events/sec (candidate must reach
 // -min-speed-ratio of baseline, default 0.5 — wide enough for shared
 // CI runners, tight enough to catch an accidental O(n) slip) and
 // mallocs/event (candidate must stay under -max-allocs-ratio of
 // baseline, default 1.5). It refuses to compare records from different
-// workloads: protocol, figure set, seeds and duration must match.
+// workloads: protocol, figure set, seeds, duration and event-queue
+// kind must match — the baseline may embed one smoke record per queue
+// kind, and the gate picks the one matching the candidate so quad and
+// cal numbers are only ever compared like for like.
 //
 // Record mode regenerates the committed baseline: it runs the
-// serial-vs-sharded scheduler matrix (every -workers count at every
-// -matrix-nodes count, constant-density large-scale configs) and
-// embeds the smoke record written by agbench:
+// serial-vs-sharded scheduler matrix (every -queue kind × every
+// -workers count at every -matrix-nodes count, constant-density
+// large-scale configs) and embeds the smoke record(s) written by
+// agbench:
 //
-//	benchgate -record BENCH_PR6.json -smoke fresh.json \
-//	          -matrix-nodes 1000,10000 -workers 1,2,4,8 -duration 20s
+//	benchgate -record BENCH_PR7.json -smoke quad.json,cal.json \
+//	          -matrix-nodes 1000,10000 -queue quad,cal \
+//	          -workers 1,2,4,8 -duration 20s
 //
 // Matrix rows at the same node count execute bit-identical schedules
 // (asserted by the scenario differential tests), so their wall-clock
-// ratios isolate the sharded kernel's scaling. The record carries the
+// ratios isolate the engine under test: SpeedupVsSerial compares
+// sharded lanes against the serial kernel on the same queue, and
+// SpeedupVsQuad compares queue kinds on the same engine. Recording
+// fails if the calendar queue does not reach -min-cal-speedup of the
+// quad baseline at the largest node count, so the committed baseline
+// always witnesses the speedup it claims. The record carries the
 // host's CPU count: scaling numbers are only meaningful relative to
 // the cores that produced them.
 package main
@@ -75,17 +85,22 @@ type smokeRecord struct {
 	eventsPerSec float64
 }
 
-// matrixRow is one serial-vs-sharded measurement.
+// matrixRow is one queue-kind × scheduler measurement.
 type matrixRow struct {
 	Nodes        int     `json:"nodes"`
+	Queue        string  `json:"queue"`
 	Scheduler    string  `json:"scheduler"`
 	Workers      int     `json:"workers"`
 	Events       uint64  `json:"events"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	// SpeedupVsSerial is serial wall time over this row's wall time at
-	// the same node count (1.0 for the serial row itself).
+	// SpeedupVsSerial is same-queue serial wall time over this row's
+	// wall time at the same node count (1.0 for the serial row itself).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// SpeedupVsQuad is the quad-queue row's wall time over this row's
+	// wall time at the same node count, scheduler and worker count —
+	// the like-for-like queue comparison (1.0 for quad rows).
+	SpeedupVsQuad float64 `json:"speedup_vs_quad,omitempty"`
 }
 
 // baseline is the committed BENCH_*.json schema.
@@ -97,8 +112,12 @@ type baseline struct {
 	Note            string      `json:"note,omitempty"`
 	SimDuration     string      `json:"sim_duration"`
 	SchedulerMatrix []matrixRow `json:"scheduler_matrix"`
-	// Smoke is the agbench -json record the CI gate compares against.
-	Smoke json.RawMessage `json:"smoke_baseline"`
+	// Smoke is the agbench -json record the CI gate compares against
+	// (historical single-record schema, kept readable for old files).
+	Smoke json.RawMessage `json:"smoke_baseline,omitempty"`
+	// Smokes holds one agbench -json record per event-queue kind; the
+	// gate picks the record whose queue matches the candidate's.
+	Smokes []json.RawMessage `json:"smoke_baselines,omitempty"`
 }
 
 func run(args []string) error {
@@ -109,17 +128,20 @@ func run(args []string) error {
 		minSpeed     = fs.Float64("min-speed-ratio", 0.5, "fail if candidate events/sec falls below this fraction of baseline")
 		maxAllocs    = fs.Float64("max-allocs-ratio", 1.5, "fail if candidate mallocs/event exceeds this multiple of baseline")
 		record       = fs.String("record", "", "write a new baseline to this file instead of gating")
-		smokePath    = fs.String("smoke", "", "agbench -json record to embed in the -record baseline")
+		smokePath    = fs.String("smoke", "", "comma-separated agbench -json records to embed in the -record baseline (one per queue kind)")
 		matrixNodes  = fs.String("matrix-nodes", "1000,10000", "comma-separated node counts for the -record scheduler matrix")
+		queueList    = fs.String("queue", "quad,cal", "comma-separated event-queue kinds for the -record scheduler matrix: "+sim.QueueNames())
 		workerList   = fs.String("workers", "1,2,4,8", "comma-separated worker counts for the -record scheduler matrix")
 		duration     = fs.Duration("duration", 20*time.Second, "simulated time per -record matrix run")
+		minCalSpeed  = fs.Float64("min-cal-speedup", 1.2, "fail -record if the cal queue's serial events/sec at the largest node count falls below this multiple of the quad reference (the -prev baseline's quad serial row, or this run's when no -prev is given)")
+		prevPath     = fs.String("prev", "", "previous committed baseline whose quad serial row anchors the -min-cal-speedup check")
 		note         = fs.String("note", "", "free-form host note stored in the -record baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *record != "" {
-		return runRecord(*record, *smokePath, *matrixNodes, *workerList, *duration, *note)
+		return runRecord(*record, *smokePath, *matrixNodes, *queueList, *workerList, *duration, *minCalSpeed, *prevPath, *note)
 	}
 	if *baselinePath == "" || *candidate == "" {
 		return fmt.Errorf("need -baseline and -candidate (or -record); see -help")
@@ -139,12 +161,49 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
+func parseQueues(csv string) ([]sim.QueueKind, error) {
+	var out []sim.QueueKind
+	for _, f := range strings.Split(csv, ",") {
+		k, err := sim.ParseQueueKind(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
 // --- record mode ---
 
-func runRecord(outPath, smokePath, matrixNodes, workerList string, duration time.Duration, note string) error {
+// quadSerialAnchor pulls the quad serial events/sec at the given node
+// count out of a previous committed baseline. Rows recorded before the
+// queue axis existed carry an empty queue name; those were quad.
+func quadSerialAnchor(path string, nodes int) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var prev baseline
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return 0, fmt.Errorf("%s does not parse as a baseline: %w", path, err)
+	}
+	for _, r := range prev.SchedulerMatrix {
+		if r.Nodes == nodes && r.Scheduler == sim.SchedulerSerial.String() &&
+			(r.Queue == sim.QueueQuad.String() || r.Queue == "") {
+			return r.EventsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("%s has no quad serial row at %d nodes", path, nodes)
+}
+
+func runRecord(outPath, smokePaths, matrixNodes, queueList, workerList string, duration time.Duration, minCalSpeed float64, prevPath, note string) error {
 	nodes, err := parseInts(matrixNodes)
 	if err != nil {
 		return fmt.Errorf("-matrix-nodes: %w", err)
+	}
+	queues, err := parseQueues(queueList)
+	if err != nil {
+		return fmt.Errorf("-queue: %w", err)
 	}
 	workers, err := parseInts(workerList)
 	if err != nil {
@@ -157,20 +216,24 @@ func runRecord(outPath, smokePath, matrixNodes, workerList string, duration time
 		Note:        note,
 		SimDuration: duration.String(),
 	}
-	if smokePath != "" {
-		data, err := os.ReadFile(smokePath)
-		if err != nil {
-			return fmt.Errorf("smoke record: %w", err)
+	if smokePaths != "" {
+		for _, p := range strings.Split(smokePaths, ",") {
+			p = strings.TrimSpace(p)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return fmt.Errorf("smoke record: %w", err)
+			}
+			var probe smokeRecord
+			if err := json.Unmarshal(data, &probe); err != nil {
+				return fmt.Errorf("smoke record %s does not parse: %w", p, err)
+			}
+			b.Smokes = append(b.Smokes, json.RawMessage(data))
 		}
-		var probe smokeRecord
-		if err := json.Unmarshal(data, &probe); err != nil {
-			return fmt.Errorf("smoke record does not parse: %w", err)
-		}
-		b.Smoke = json.RawMessage(data)
 	}
 
-	measure := func(n int, kind sim.SchedulerKind, w int) (matrixRow, error) {
+	measure := func(n int, queue sim.QueueKind, kind sim.SchedulerKind, w int) (matrixRow, error) {
 		cfg := scenario.ShortenedData(scenario.LargeScaleConfig(n), duration)
+		cfg.EventQueue = queue
 		cfg.Scheduler = kind
 		cfg.Workers = w
 		cfg.Seed = 1
@@ -180,37 +243,107 @@ func runRecord(outPath, smokePath, matrixNodes, workerList string, duration time
 			return matrixRow{}, err
 		}
 		wall := time.Since(start).Seconds()
-		row := matrixRow{Nodes: n, Scheduler: kind.String(), Workers: w,
-			Events: res.Events, WallSeconds: wall}
+		row := matrixRow{Nodes: n, Queue: queue.String(), Scheduler: kind.String(),
+			Workers: w, Events: res.Events, WallSeconds: wall}
 		if wall > 0 {
 			row.EventsPerSec = float64(res.Events) / wall
 		}
 		return row, nil
 	}
 
+	// quadWall maps "nodes/scheduler/workers" to the quad row's wall
+	// time, so every other queue's rows get a like-for-like ratio.
+	quadWall := make(map[string]float64)
+	rowKey := func(r matrixRow) string {
+		return fmt.Sprintf("%d/%s/%d", r.Nodes, r.Scheduler, r.Workers)
+	}
+	// Serial events/sec per node count for the headline queue kinds;
+	// the largest node count's cal rate is the gated claim.
+	quadSerialRate := make(map[int]float64)
+	calSerialRate := make(map[int]float64)
+
 	for _, n := range nodes {
-		serial, err := measure(n, sim.SchedulerSerial, 1)
-		if err != nil {
-			return fmt.Errorf("%d nodes serial: %w", n, err)
-		}
-		serial.SpeedupVsSerial = 1
-		fmt.Printf("%6d nodes  serial        %10.0f events/sec\n", n, serial.EventsPerSec)
-		b.SchedulerMatrix = append(b.SchedulerMatrix, serial)
-		for _, w := range workers {
-			row, err := measure(n, sim.SchedulerSharded, w)
+		var events uint64
+		for _, queue := range queues {
+			serial, err := measure(n, queue, sim.SchedulerSerial, 1)
 			if err != nil {
-				return fmt.Errorf("%d nodes sharded workers=%d: %w", n, w, err)
+				return fmt.Errorf("%d nodes %s serial: %w", n, queue, err)
 			}
-			if row.Events != serial.Events {
-				return fmt.Errorf("%d nodes sharded workers=%d executed %d events, serial %d — bit-identity broken",
-					n, w, row.Events, serial.Events)
+			if events == 0 {
+				events = serial.Events
+			} else if serial.Events != events {
+				return fmt.Errorf("%d nodes %s serial executed %d events, first queue %d — bit-identity broken",
+					n, queue, serial.Events, events)
 			}
-			if row.WallSeconds > 0 {
-				row.SpeedupVsSerial = serial.WallSeconds / row.WallSeconds
+			serial.SpeedupVsSerial = 1
+			switch queue {
+			case sim.QueueQuad:
+				quadWall[rowKey(serial)] = serial.WallSeconds
+				quadSerialRate[n] = serial.EventsPerSec
+			case sim.QueueCal:
+				calSerialRate[n] = serial.EventsPerSec
 			}
-			fmt.Printf("%6d nodes  sharded w=%-3d %10.0f events/sec  (%.2fx serial)\n",
-				n, w, row.EventsPerSec, row.SpeedupVsSerial)
-			b.SchedulerMatrix = append(b.SchedulerMatrix, row)
+			if w, ok := quadWall[rowKey(serial)]; ok && serial.WallSeconds > 0 {
+				serial.SpeedupVsQuad = w / serial.WallSeconds
+			}
+			fmt.Printf("%6d nodes  %-4s serial        %10.0f events/sec  (%.2fx quad)\n",
+				n, queue, serial.EventsPerSec, serial.SpeedupVsQuad)
+			b.SchedulerMatrix = append(b.SchedulerMatrix, serial)
+			for _, w := range workers {
+				row, err := measure(n, queue, sim.SchedulerSharded, w)
+				if err != nil {
+					return fmt.Errorf("%d nodes %s sharded workers=%d: %w", n, queue, w, err)
+				}
+				if row.Events != serial.Events {
+					return fmt.Errorf("%d nodes %s sharded workers=%d executed %d events, serial %d — bit-identity broken",
+						n, queue, w, row.Events, serial.Events)
+				}
+				if row.WallSeconds > 0 {
+					row.SpeedupVsSerial = serial.WallSeconds / row.WallSeconds
+				}
+				if queue == sim.QueueQuad {
+					quadWall[rowKey(row)] = row.WallSeconds
+				}
+				if qw, ok := quadWall[rowKey(row)]; ok && row.WallSeconds > 0 {
+					row.SpeedupVsQuad = qw / row.WallSeconds
+				}
+				fmt.Printf("%6d nodes  %-4s sharded w=%-3d %10.0f events/sec  (%.2fx serial, %.2fx quad)\n",
+					n, queue, w, row.EventsPerSec, row.SpeedupVsSerial, row.SpeedupVsQuad)
+				b.SchedulerMatrix = append(b.SchedulerMatrix, row)
+			}
+		}
+	}
+
+	// The headline claim the baseline exists to witness: at the largest
+	// node count, the calendar queue's serial events/sec must reach
+	// -min-cal-speedup of the quad reference — the previous committed
+	// baseline's quad serial row when -prev names one (the cross-PR
+	// acceptance), this run's otherwise — or the recording is refused.
+	if len(nodes) > 0 && minCalSpeed > 0 {
+		maxN := nodes[0]
+		for _, n := range nodes[1:] {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		if calRate, ok := calSerialRate[maxN]; ok {
+			anchor, anchorName := quadSerialRate[maxN], "this run's quad serial"
+			if prevPath != "" {
+				a, err := quadSerialAnchor(prevPath, maxN)
+				if err != nil {
+					return fmt.Errorf("-prev: %w", err)
+				}
+				anchor, anchorName = a, prevPath+" quad serial"
+			}
+			if anchor > 0 {
+				speedup := calRate / anchor
+				fmt.Printf("cal serial at %d nodes: %.2fx vs %s (floor %.2fx)\n",
+					maxN, speedup, anchorName, minCalSpeed)
+				if speedup < minCalSpeed {
+					return fmt.Errorf("cal queue reached only %.2fx of %s at %d nodes, below the %.2fx floor — not recording a baseline that contradicts its own claim",
+						speedup, anchorName, maxN, minCalSpeed)
+				}
+			}
 		}
 	}
 
@@ -227,7 +360,11 @@ func runRecord(outPath, smokePath, matrixNodes, workerList string, duration time
 
 // --- gate mode ---
 
-func loadSmoke(path string, embedded bool) (*smokeRecord, error) {
+// loadSmoke parses one agbench -json record. When embedded is true the
+// path names a committed baseline, and wantQueue selects the embedded
+// smoke record recorded under that event-queue kind — quad candidates
+// gate against the quad baseline, cal against cal, never across.
+func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -237,10 +374,30 @@ func loadSmoke(path string, embedded bool) (*smokeRecord, error) {
 		if err := json.Unmarshal(data, &b); err != nil {
 			return nil, fmt.Errorf("%s does not parse as a baseline: %w", path, err)
 		}
-		if len(b.Smoke) == 0 {
-			return nil, fmt.Errorf("%s has no smoke_baseline record", path)
+		candidates := b.Smokes
+		if len(candidates) == 0 && len(b.Smoke) > 0 {
+			candidates = []json.RawMessage{b.Smoke}
 		}
-		data = b.Smoke
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("%s has no smoke baseline record", path)
+		}
+		data = nil
+		var have []string
+		for _, raw := range candidates {
+			var probe smokeRecord
+			if err := json.Unmarshal(raw, &probe); err != nil {
+				return nil, fmt.Errorf("%s: embedded smoke record does not parse: %w", path, err)
+			}
+			have = append(have, probe.Queue)
+			if probe.Queue == wantQueue {
+				data = raw
+				break
+			}
+		}
+		if data == nil {
+			return nil, fmt.Errorf("%s has no smoke record for queue %q (recorded: %s) — not comparable across queue kinds",
+				path, wantQueue, strings.Join(have, ", "))
+		}
 	}
 	var rec smokeRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
@@ -273,11 +430,11 @@ func loadSmoke(path string, embedded bool) (*smokeRecord, error) {
 }
 
 func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs float64) error {
-	base, err := loadSmoke(baselinePath, true)
+	cand, err := loadSmoke(candidatePath, false, "")
 	if err != nil {
 		return err
 	}
-	cand, err := loadSmoke(candidatePath, false)
+	base, err := loadSmoke(baselinePath, true, cand.Queue)
 	if err != nil {
 		return err
 	}
@@ -288,6 +445,7 @@ func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs float64) er
 		{"figures", strings.Join(base.figureIDs, "+"), strings.Join(cand.figureIDs, "+")},
 		{"duration", base.Duration, cand.Duration},
 		{"seeds", strconv.Itoa(base.Seeds), strconv.Itoa(cand.Seeds)},
+		{"queue", base.Queue, cand.Queue},
 	} {
 		if axis.b != axis.c {
 			return fmt.Errorf("workloads differ on %s: baseline %q, candidate %q — not comparable",

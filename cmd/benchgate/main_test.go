@@ -124,15 +124,35 @@ func TestGateRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-record", "out.json", "-workers", "-2"}); err == nil {
 		t.Fatal("bad workers accepted")
 	}
+	if err := run([]string{"-record", "out.json", "-queue", "bogus"}); err == nil {
+		t.Fatal("bad queue kind accepted")
+	}
 	if err := run([]string{"-record", filepath.Join(t.TempDir(), "out.json"),
 		"-smoke", "no-such.json"}); err == nil {
 		t.Fatal("missing smoke record accepted")
 	}
 }
 
+// TestGateRejectsCrossQueue pins the like-for-like rule: a candidate
+// recorded under one queue kind must not gate against a baseline that
+// only carries another kind's smoke record.
+func TestGateRejectsCrossQueue(t *testing.T) {
+	base := writeFile(t, "base.json",
+		wrapBaseline(t, fakeAgbenchRecord(1_000_000, 2.0, 40)))
+	calCand := strings.Replace(fakeAgbenchRecord(1_000_000, 2.0, 40),
+		`"queue": "quad"`, `"queue": "cal"`, 1)
+	cand := writeFile(t, "cand.json", calCand)
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "no smoke record for queue") {
+		t.Fatalf("cal candidate gated against quad-only baseline: %v", err)
+	}
+}
+
 // TestRecordSmallMatrix runs record mode on a tiny matrix and checks the
-// written baseline parses, carries serial + sharded rows with matching
-// event counts, and embeds the smoke record.
+// written baseline parses, carries per-queue serial + sharded rows with
+// matching event counts, and embeds the smoke record. The cal-speedup
+// floor is disabled: a 100-node matrix is far below the scale where the
+// calendar queue's claim applies.
 func TestRecordSmallMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -140,8 +160,8 @@ func TestRecordSmallMatrix(t *testing.T) {
 	smoke := writeFile(t, "smoke.json", fakeAgbenchRecord(1_000_000, 2.0, 40))
 	out := filepath.Join(t.TempDir(), "baseline.json")
 	err := run([]string{"-record", out, "-smoke", smoke,
-		"-matrix-nodes", "100", "-workers", "1,2", "-duration", "20s",
-		"-note", "test host"})
+		"-matrix-nodes", "100", "-queue", "quad,cal", "-workers", "1,2",
+		"-duration", "20s", "-min-cal-speedup", "0", "-note", "test host"})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -153,24 +173,56 @@ func TestRecordSmallMatrix(t *testing.T) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatalf("baseline does not parse: %v", err)
 	}
-	if b.CPUs < 1 || b.Note != "test host" || len(b.Smoke) == 0 {
+	if b.CPUs < 1 || b.Note != "test host" || len(b.Smokes) != 1 {
 		t.Fatalf("baseline metadata incomplete: %+v", b)
 	}
-	if len(b.SchedulerMatrix) != 3 { // serial + workers 1,2
-		t.Fatalf("matrix rows = %d, want 3", len(b.SchedulerMatrix))
+	if len(b.SchedulerMatrix) != 6 { // 2 queues x (serial + workers 1,2)
+		t.Fatalf("matrix rows = %d, want 6", len(b.SchedulerMatrix))
 	}
 	serial := b.SchedulerMatrix[0]
 	if serial.Scheduler != "serial" || serial.Events == 0 || serial.EventsPerSec <= 0 {
 		t.Fatalf("serial row incomplete: %+v", serial)
 	}
-	for _, row := range b.SchedulerMatrix[1:] {
-		if row.Scheduler != "sharded" || row.Events != serial.Events || row.SpeedupVsSerial <= 0 {
+	for i, row := range b.SchedulerMatrix {
+		wantQueue := "quad"
+		if i >= 3 {
+			wantQueue = "cal"
+		}
+		if row.Queue != wantQueue {
+			t.Fatalf("row %d queue = %q, want %q: %+v", i, row.Queue, wantQueue, row)
+		}
+		if row.Events != serial.Events {
+			t.Fatalf("row %d events %d diverge from serial %d", i, row.Events, serial.Events)
+		}
+		if i%3 != 0 && (row.Scheduler != "sharded" || row.SpeedupVsSerial <= 0) {
 			t.Fatalf("sharded row inconsistent with serial: %+v", row)
+		}
+		if row.SpeedupVsQuad <= 0 {
+			t.Fatalf("row %d missing like-for-like queue ratio: %+v", i, row)
 		}
 	}
 	// The freshly recorded baseline must gate its own smoke record.
 	cand := writeFile(t, "cand.json", fakeAgbenchRecord(1_000_000, 2.0, 40))
 	if err := run([]string{"-baseline", out, "-candidate", cand}); err != nil {
 		t.Fatalf("self-gate failed: %v", err)
+	}
+}
+
+// TestRecordRefusesLowCalSpeedup checks the record-time enforcement: a
+// floor no real host can reach makes -record refuse to write, so a
+// committed baseline can never contradict the speedup it claims.
+func TestRecordRefusesLowCalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := filepath.Join(t.TempDir(), "baseline.json")
+	err := run([]string{"-record", out,
+		"-matrix-nodes", "100", "-queue", "quad,cal", "-workers", "1",
+		"-duration", "20s", "-min-cal-speedup", "100"})
+	if err == nil || !strings.Contains(err.Error(), "below the 100.00x floor") {
+		t.Fatalf("unreachable cal-speedup floor did not refuse recording: %v", err)
+	}
+	if _, statErr := os.Stat(out); statErr == nil {
+		t.Fatal("baseline written despite failed speedup floor")
 	}
 }

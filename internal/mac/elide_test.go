@@ -98,11 +98,19 @@ func TestLateAckElidesContentionStep(t *testing.T) {
 			break
 		}
 	}
+	// Every completed transmission folds its airtime-end step into the
+	// radio's TxDone hook: exactly one transmission (attempt 0) has
+	// left the air by the time the retry is mid-backoff.
+	attempts := uint64(d.inflight.attempt)
+	if got := d.Stats().ElidedEvents; got != attempts {
+		t.Fatalf("%d completed transmissions elided %d events, want one each", attempts, got)
+	}
 	// The sender is mid-backoff for a retry. The original ACK finally
 	// arrives.
 	d.onRadio(frame{kind: frameAck, src: 2, dst: 1, seq: d.inflight.frm.seq}, 2, true)
-	if got := d.Stats().ElidedEvents; got != 1 {
-		t.Fatalf("late ACK elided %d events, want the abandoned backoff step", got)
+	if got := d.Stats().ElidedEvents; got != attempts+1 {
+		t.Fatalf("late ACK elided %d events total, want the abandoned backoff step on top of %d",
+			got, attempts)
 	}
 	if d.inflight != nil {
 		t.Fatal("late ACK did not complete the frame")

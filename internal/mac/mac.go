@@ -149,15 +149,18 @@ type Stats struct {
 	// RTSSent and CTSSent count RTS/CTS control frames.
 	RTSSent uint64
 	CTSSent uint64
-	// ElidedEvents counts contention-step timers (defer wakes, backoff
-	// expiries, pending response transmissions) cancelled when their
-	// frame completed out from under them — events that would have
-	// fired as inflight-guarded no-ops before the MAC re-armed lazily.
-	// Adding it to the scheduler's processed count keeps the logical
-	// event total (and the golden digests pinned on it) identical to
-	// the eager-timer code. Cancels whose deadline lies beyond the
-	// horizon set with SetHorizon are excluded: the old code never
-	// reached those events either.
+	// ElidedEvents counts MAC events folded out of the kernel: the
+	// airtime-end step the eager code scheduled per data/RTS
+	// transmission, now run from the radio's TxDone hook (one per
+	// completed transmission), and contention-step timers (defer
+	// wakes, backoff expiries, pending response transmissions)
+	// cancelled when their frame completed out from under them —
+	// events that would have fired as inflight-guarded no-ops before
+	// the MAC re-armed lazily. Adding it to the scheduler's processed
+	// count keeps the logical event total (and the golden digests
+	// pinned on it) identical to the eager-timer code. Cancels whose
+	// deadline lies beyond the horizon set with SetHorizon are
+	// excluded: the old code never reached those events either.
 	ElidedEvents uint64
 }
 
@@ -181,6 +184,23 @@ type outgoing struct {
 	cw      int
 }
 
+// stepPhase says what a firing of the contention-step timer means; it
+// is written together with the timer on every arm, so the single
+// reusable stepFn closure can dispatch without capturing state.
+type stepPhase uint8
+
+const (
+	// stepDeferWake: the channel was busy; wake at the sensed busy-until
+	// time and re-sample.
+	stepDeferWake stepPhase = iota
+	// stepBackoff: DIFS + backoff expired; transmit if still idle, else
+	// start the defer cycle over.
+	stepBackoff
+	// stepCtsData: CTS received; send the protected data frame after
+	// SIFS.
+	stepCtsData
+)
+
 // DCF is one node's MAC entity.
 type DCF struct {
 	id    pkt.NodeID
@@ -201,11 +221,36 @@ type DCF struct {
 	ackTimer sim.Timer
 	ctsTimer sim.Timer
 	// step is the pending timer driving the head frame's contention
-	// cycle (defer wake, backoff expiry, transmission end, or pending
-	// response). When the frame completes early — a late ACK during
-	// re-contention, say — finish cancels it instead of letting it fire
-	// as an inflight-guarded no-op; see Stats.ElidedEvents.
-	step sim.Timer
+	// cycle (defer wake, backoff expiry, or pending response). When the
+	// frame completes early — a late ACK during re-contention, say —
+	// finish cancels it instead of letting it fire as an
+	// inflight-guarded no-op; see Stats.ElidedEvents.
+	//
+	// The timer is always armed with the reusable stepFn closure; what
+	// a firing means is carried in (stepKind, stepOut), written together
+	// with every arm. At most one step is pending at a time, so the
+	// fields cannot be clobbered under a live timer.
+	step     sim.Timer
+	stepKind stepPhase
+	stepOut  *outgoing
+	stepFn   func()
+	// ackOut/ctsOut are the frames the ack/cts timeout timers guard;
+	// like stepOut they let the timers share one closure each instead
+	// of capturing per arm.
+	ackOut *outgoing
+	ackFn  func()
+	ctsOut *outgoing
+	ctsFn  func()
+	// vtxOut/vtxAt/vtxKind describe the virtual airtime-end step: since
+	// the radio's finish processing ends at the exact schedule position
+	// of a timer armed right after StartTx, the MAC no longer schedules
+	// one — it records what the timer would have done and runs it from
+	// the radio's TxDone hook, counting one elided event per
+	// transmission (see Stats.ElidedEvents). vtxOut is nil when no
+	// transmission is in the air.
+	vtxOut  *outgoing
+	vtxAt   sim.Time
+	vtxKind frameKind
 	// horizon bounds elision accounting; see SetHorizon.
 	horizon sim.Time
 	// navUntil is the virtual carrier-sense deadline learned from
@@ -230,6 +275,12 @@ func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID
 		cb:      cb,
 		lastSeq: make(map[pkt.NodeID]uint16),
 	}
+	// One closure per timer role for the DCF's whole lifetime: arming a
+	// contention step or a timeout passes these instead of allocating a
+	// fresh capture per arm (thousands per node per run).
+	d.stepFn = d.onStep
+	d.ackFn = d.onAckTimeout
+	d.ctsFn = d.onCtsTimeout
 	// Attach with the node's own scheduler as the transceiver clock:
 	// under the sharded kernel this is the node's shard lane, so
 	// carrier-sense reads inside parallel windows see the shard clock.
@@ -341,18 +392,28 @@ func (d *DCF) defer_() {
 	busyUntil := d.effectiveBusyUntil()
 	now := d.sched.Now()
 	if busyUntil > now {
-		d.step = d.sched.At(busyUntil, func() {
-			if d.inflight == out {
-				d.defer_()
-			}
-		})
+		d.stepKind, d.stepOut = stepDeferWake, out
+		d.step = d.sched.At(busyUntil, d.stepFn)
 		return
 	}
 	slots := d.rng.Intn(out.cw + 1)
 	wait := d.cfg.DIFS + time.Duration(slots)*d.cfg.SlotTime
 	// The expiry may start a transmission (AfterEmit); its DIFS floor
 	// is what makes Config.MinTxDelay a sound lookahead bound.
-	d.step = d.sched.AfterEmit(wait, func() {
+	d.stepKind, d.stepOut = stepBackoff, out
+	d.step = d.sched.AfterEmit(wait, d.stepFn)
+}
+
+// onStep is the single contention-step callback; (stepKind, stepOut)
+// written at arm time say which transition fired.
+func (d *DCF) onStep() {
+	out := d.stepOut
+	switch d.stepKind {
+	case stepDeferWake:
+		if d.inflight == out {
+			d.defer_()
+		}
+	case stepBackoff:
 		if d.inflight != out {
 			return
 		}
@@ -363,7 +424,25 @@ func (d *DCF) defer_() {
 			return
 		}
 		d.transmit()
-	})
+	case stepCtsData:
+		if d.inflight == out {
+			d.transmitData(out)
+		}
+	}
+}
+
+// onAckTimeout declares the awaited ACK lost and retries.
+func (d *DCF) onAckTimeout() {
+	if out := d.ackOut; d.inflight == out && out != nil {
+		d.retry(out)
+	}
+}
+
+// onCtsTimeout declares the awaited CTS lost and retries.
+func (d *DCF) onCtsTimeout() {
+	if out := d.ctsOut; d.inflight == out && out != nil {
+		d.retry(out)
+	}
 }
 
 // needRTS reports whether the head frame must be protected by RTS/CTS.
@@ -391,30 +470,25 @@ func (d *DCF) transmitRTS(out *outgoing) {
 	// Duration field: everything after the RTS ends.
 	nav := d.cfg.SIFS + ctsAt + d.cfg.SIFS + dataAt + d.cfg.SIFS + d.ackAirtime()
 	rts := frame{kind: frameRTS, src: d.id, dst: out.frm.dst, seq: out.frm.seq, nav: nav}
-	if err := d.tr.StartTx(rts, d.ctlAirtime(d.cfg.RTSBytes)); err != nil {
+	rtsAt := d.ctlAirtime(d.cfg.RTSBytes)
+	if err := d.tr.StartTxNotify(rts, rtsAt, d); err != nil {
 		d.retry(out)
 		return
 	}
 	d.stats.RTSSent++
 	d.stats.BytesSent += uint64(d.cfg.RTSBytes)
-	d.step = d.sched.After(d.ctlAirtime(d.cfg.RTSBytes), func() {
-		if d.inflight != out {
-			return
-		}
-		d.ctsTimer = d.sched.After(d.cfg.SIFS+ctsAt+2*d.cfg.SlotTime, func() {
-			if d.inflight == out {
-				d.retry(out)
-			}
-		})
-	})
+	// The airtime-end step is virtual: the radio's TxDone hook arms the
+	// CTS timeout when the RTS leaves the air.
+	d.vtxOut, d.vtxAt, d.vtxKind = out, d.sched.Now()+rtsAt, frameRTS
 }
 
-// transmitData puts the head data frame on the air and arms the ACK
-// timer for unicast.
+// transmitData puts the head data frame on the air; the radio's TxDone
+// hook completes broadcasts and arms the ACK timer for unicast when
+// the frame leaves the air.
 func (d *DCF) transmitData(out *outgoing) {
 	payloadSize := out.frm.payload.WireSize()
 	at := d.airtime(payloadSize)
-	if err := d.tr.StartTx(out.frm, at); err != nil {
+	if err := d.tr.StartTxNotify(out.frm, at, d); err != nil {
 		// Should be unreachable: the defer cycle guarantees idleness.
 		// Treat as a collision-equivalent retry rather than crashing.
 		d.retry(out)
@@ -428,21 +502,42 @@ func (d *DCF) transmitData(out *outgoing) {
 			d.stats.UnicastSent++
 		}
 	}
-	d.step = d.sched.After(at, func() {
-		if d.inflight != out {
-			return
-		}
+	d.vtxOut, d.vtxAt, d.vtxKind = out, d.sched.Now()+at, frameData
+}
+
+// TxDone implements radio.TxDone: it runs the virtual airtime-end step
+// when the radio finishes the transmission, in the exact schedule
+// position the eager MAC's timer fired in. The timer it replaces
+// executed as a real event, so each invocation that finds the virtual
+// step still armed counts one elided event to keep the logical total
+// identical. A cleared vtxOut means the frame already completed (a
+// late ACK during the retransmission's airtime); the early finish
+// accounted for the step, and there is nothing left to do.
+func (d *DCF) TxDone() {
+	out := d.vtxOut
+	if out == nil {
+		return
+	}
+	d.vtxOut = nil
+	d.stats.ElidedEvents++
+	if d.inflight != out {
+		return
+	}
+	switch d.vtxKind {
+	case frameData:
 		if out.frm.dst == pkt.Broadcast {
 			d.finish(out, true)
 			return
 		}
 		// Await the ACK.
-		d.ackTimer = d.sched.After(d.ackTimeout(), func() {
-			if d.inflight == out {
-				d.retry(out)
-			}
-		})
-	})
+		d.ackOut = out
+		d.ackTimer = d.sched.After(d.ackTimeout(), d.ackFn)
+	case frameRTS:
+		// Await the CTS.
+		ctsAt := d.ctlAirtime(d.cfg.CTSBytes)
+		d.ctsOut = out
+		d.ctsTimer = d.sched.After(d.cfg.SIFS+ctsAt+2*d.cfg.SlotTime, d.ctsFn)
+	}
 }
 
 // retry reschedules a unicast frame after a lost ACK, doubling the
@@ -459,13 +554,32 @@ func (d *DCF) retry(out *outgoing) {
 	d.defer_()
 }
 
+// elideVirtualStep accounts for a pending virtual airtime-end step on
+// early completion, mirroring elideStep: the eager MAC would have
+// cancelled a real timer here and counted the elision (subject to the
+// same horizon bound). The radio's TxDone hook still fires at the
+// airtime's end but finds vtxOut cleared and does nothing — and counts
+// nothing, or the event would be accounted twice.
+func (d *DCF) elideVirtualStep() {
+	if d.vtxOut == nil {
+		return
+	}
+	if d.horizon == 0 || d.vtxAt <= d.horizon {
+		d.stats.ElidedEvents++
+	}
+	d.vtxOut = nil
+}
+
 // finish completes the head frame and starts the next.
 func (d *DCF) finish(out *outgoing, ok bool) {
 	d.elideStep()
+	d.elideVirtualStep()
 	d.ackTimer.Cancel()
 	d.ackTimer = sim.Timer{}
+	d.ackOut = nil
 	d.ctsTimer.Cancel()
 	d.ctsTimer = sim.Timer{}
+	d.ctsOut = nil
 	d.inflight = nil
 	if d.cb.OnSendDone != nil {
 		d.cb.OnSendDone(out.frm.payload, out.frm.dst, ok)
@@ -506,12 +620,9 @@ func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
 		if frm.seq == d.inflight.frm.seq {
 			d.ctsTimer.Cancel()
 			d.ctsTimer = sim.Timer{}
-			out := d.inflight
-			d.step = d.sched.AfterEmit(d.cfg.SIFS, func() {
-				if d.inflight == out {
-					d.transmitData(out)
-				}
-			})
+			d.ctsOut = nil
+			d.stepKind, d.stepOut = stepCtsData, d.inflight
+			d.step = d.sched.AfterEmit(d.cfg.SIFS, d.stepFn)
 		}
 	case frameData:
 		d.onData(frm)

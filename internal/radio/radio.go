@@ -57,6 +57,21 @@ type Stats struct {
 // to StartTx; ok is false when the reception was corrupted.
 type Handler func(frame any, from pkt.NodeID, ok bool)
 
+// TxDone is the transmitter-side completion hook for StartTxNotify.
+// TxDone runs when the transmission's finish processing completes — at
+// the tail of the per-frame table walk under ModelBatch, after the
+// retire event under ModelRef — which is exactly where a timer the
+// transmitter armed for the airtime's end would run: the kernel
+// allocates that timer's sequence number immediately after the finish
+// events', so nothing can order between them. Folding the timer into
+// the hook is therefore schedule-transparent; the MAC uses it to elide
+// one event per data/RTS transmission (see mac.Stats.ElidedEvents).
+// It is an interface rather than a func so callers can pass a
+// long-lived receiver without allocating a closure per transmission.
+type TxDone interface {
+	TxDone()
+}
+
 // transmission is one frame on the air. Records are pooled by the
 // medium: a transmission is recycled once its finish processing — the
 // table walk under ModelBatch, the RemoveTx event under ModelRef — has
@@ -77,6 +92,10 @@ type transmission struct {
 	// receptions on the receivers instead. The slice's capacity
 	// survives pooling, so steady-state transmissions allocate nothing.
 	recvs []recvEntry
+	// done is the transmitter's completion hook (StartTxNotify), invoked
+	// after finish processing retires the transmission. Nil for plain
+	// StartTx.
+	done TxDone
 }
 
 // recvEntry is one receiver-table row: the receiver by attach index
@@ -192,7 +211,7 @@ func (m *Medium) acquireTx() *transmission {
 // releaseTx recycles a finished transmission, dropping its references
 // so pooled records pin neither frames nor transceivers.
 func (m *Medium) releaseTx(tx *transmission) {
-	tx.from, tx.frame = nil, nil
+	tx.from, tx.frame, tx.done = nil, nil, nil
 	tx.recvs = tx.recvs[:0]
 	m.txFree = append(m.txFree, tx)
 }
@@ -285,6 +304,14 @@ func (t *Transceiver) CarrierBusyUntil() sim.Time {
 // within range at the start of the transmission; each receives the frame
 // (or a corruption notice) when the airtime elapses.
 func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
+	return t.StartTxNotify(frame, airtime, nil)
+}
+
+// StartTxNotify is StartTx with a transmitter-side completion hook:
+// done.TxDone() (when done is non-nil) runs after the transmission's
+// finish processing, in the exact schedule position of an airtime-end
+// timer armed by the caller right after StartTx — see the TxDone doc.
+func (t *Transceiver) StartTxNotify(frame any, airtime sim.Time, done TxDone) error {
 	m := t.medium
 	now := m.sched.Now()
 	if t.txEnd > now {
@@ -295,7 +322,7 @@ func (t *Transceiver) StartTx(frame any, airtime sim.Time) error {
 	}
 
 	tx := m.acquireTx()
-	tx.from, tx.frame = t, frame
+	tx.from, tx.frame, tx.done = t, frame, done
 	tx.start, tx.end = now, now+airtime
 	tx.origin = t.pos.Position(now)
 	m.index.AddTx(tx)
@@ -376,8 +403,12 @@ func (m *Medium) finishTx(tx *transmission) {
 			rcv.handler(tx.frame, tx.from.id, !corrupted)
 		}
 	}
+	done := tx.done
 	m.index.RemoveTx(tx)
 	m.releaseTx(tx)
+	if done != nil {
+		done.TxDone()
+	}
 }
 
 // startTxRef is the reference reception path: one reception record and
@@ -419,8 +450,12 @@ func (t *Transceiver) startTxRef(tx *transmission, now sim.Time) {
 	})
 
 	m.sched.At(tx.end, func() {
+		done := tx.done
 		m.index.RemoveTx(tx)
 		m.releaseTx(tx)
+		if done != nil {
+			done.TxDone()
+		}
 	})
 }
 

@@ -83,12 +83,13 @@ func TestLargeScale250GridBruteBitIdentical(t *testing.T) {
 }
 
 // TestLargeScaleQueueQuadRefBitIdentical is the determinism acceptance
-// test for the event-queue refactor: large-scale runs must produce
-// bit-identical results — every member count, latency, byte counter
-// and the event total — whether the kernel orders events with the
-// pooled 4-ary heap or the container/heap reference. The 250-node pair
-// runs always (short mode trims simulated time, not node count); the
-// 500-node pair is full-mode only.
+// test for the event-queue implementations: large-scale runs must
+// produce bit-identical results — every member count, latency, byte
+// counter and the event total — whether the kernel orders events with
+// the pooled 4-ary heap, the calendar/bucket queue, or the
+// container/heap reference. The 250-node set runs always (short mode
+// trims simulated time, not node count); the 500-node set is full-mode
+// only.
 func TestLargeScaleQueueQuadRefBitIdentical(t *testing.T) {
 	cases := []struct {
 		nodes    int
@@ -111,13 +112,16 @@ func TestLargeScaleQueueQuadRefBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.EventQueue = sim.QueueRef
-		ref, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(quad, ref) {
-			t.Fatalf("%d nodes: quad and ref queue runs diverged:\nquad: %+v\nref:  %+v", tc.nodes, quad, ref)
+		for _, kind := range []sim.QueueKind{sim.QueueCal, sim.QueueRef} {
+			cfg.EventQueue = kind
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%d nodes %v: %v", tc.nodes, kind, err)
+			}
+			if !reflect.DeepEqual(quad, res) {
+				t.Fatalf("%d nodes: quad and %v queue runs diverged:\nquad: %+v\n%v:  %+v",
+					tc.nodes, kind, quad, kind, res)
+			}
 		}
 		if quad.Sent == 0 || quad.Received.Mean == 0 {
 			t.Fatalf("%d nodes: degenerate run: sent %d, mean received %v", tc.nodes, quad.Sent, quad.Received.Mean)

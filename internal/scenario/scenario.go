@@ -143,9 +143,10 @@ type Config struct {
 	RxModel radio.ReceptionModel
 	// EventQueue selects the simulation kernel's event-queue
 	// implementation. The default (sim.QueueQuad) is the pooled 4-ary
-	// heap; sim.QueueRef restores the container/heap reference for
-	// differential testing. Both produce bit-identical results for the
-	// same seed.
+	// heap; sim.QueueCal is the calendar/bucket queue built for the
+	// clustered timestamps of 10k+-node runs; sim.QueueRef restores
+	// the container/heap reference for differential testing. All kinds
+	// produce bit-identical results for the same seed.
 	EventQueue sim.QueueKind
 	// Scheduler selects the simulation kernel's execution engine. The
 	// default (sim.SchedulerSerial) is the single-threaded kernel;
@@ -273,8 +274,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: non-positive duration %v", c.Duration)
 	case c.DataEnd > c.Duration:
 		return fmt.Errorf("scenario: data window ends at %v after the run ends at %v", c.DataEnd, c.Duration)
-	case c.EventQueue != sim.QueueQuad && c.EventQueue != sim.QueueRef:
-		return fmt.Errorf("scenario: unknown event queue kind %d", int(c.EventQueue))
+	case c.EventQueue != sim.QueueQuad && c.EventQueue != sim.QueueRef && c.EventQueue != sim.QueueCal:
+		return fmt.Errorf("scenario: unknown event queue kind %d (registered: %s)", int(c.EventQueue), sim.QueueNames())
 	case c.RxModel != radio.ModelBatch && c.RxModel != radio.ModelRef:
 		return fmt.Errorf("scenario: unknown reception model %d", int(c.RxModel))
 	case c.Scheduler != sim.SchedulerSerial && c.Scheduler != sim.SchedulerSharded:

@@ -191,7 +191,7 @@ func TestSchedulerRxModelQueueMatrixBitIdentical(t *testing.T) {
 	var ref *Result
 	var refName string
 	for _, model := range []radio.ReceptionModel{radio.ModelBatch, radio.ModelRef} {
-		for _, queue := range []sim.QueueKind{sim.QueueQuad, sim.QueueRef} {
+		for _, queue := range []sim.QueueKind{sim.QueueQuad, sim.QueueCal, sim.QueueRef} {
 			for _, sched := range []sim.SchedulerKind{sim.SchedulerSerial, sim.SchedulerSharded} {
 				name := fmt.Sprintf("%v/%v/%v", model, queue, sched)
 				c := cfg
@@ -242,5 +242,30 @@ func TestValidateSchedulerAxis(t *testing.T) {
 	cfg.TraceCapacity = 0
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("plain sharded config rejected: %v", err)
+	}
+}
+
+// TestValidateQueueAxis mirrors the scheduler-axis test for the event
+// queue: unknown kinds are rejected with every registered name in the
+// message, and each registered kind validates cleanly.
+func TestValidateQueueAxis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EventQueue = sim.QueueKind(99)
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown queue kind accepted")
+	}
+	for _, name := range []string{"quad", "cal", "ref"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered kind %q", err, name)
+		}
+	}
+
+	for _, kind := range []sim.QueueKind{sim.QueueQuad, sim.QueueCal, sim.QueueRef} {
+		cfg = DefaultConfig()
+		cfg.EventQueue = kind
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("queue kind %v rejected: %v", kind, err)
+		}
 	}
 }

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// calQueue is a self-resizing calendar/bucket queue (Brown 1988): a
+// rotating wheel of fixed-width time slots ("buckets") for the current
+// "day", an overflow heap for events beyond it, and a small "front"
+// heap holding the bucket currently being serviced. Simulation
+// timestamps are heavily clustered — SIFS/DIFS/slot-time MAC steps now,
+// sparse mobility/route timers later — so with a bucket width near the
+// sampled inter-event gap almost every push lands in its final bucket
+// in O(1), and a pop is O(log f) in the few events sharing the current
+// window instead of O(log n) in the whole population.
+//
+// Layout and invariants:
+//
+//   - front:     heapified events with at < winEnd (the service window).
+//     The global minimum is always here when the queue is non-empty.
+//   - buckets:   unsorted per-window slices for the rest of the current
+//     day, window w of event e = (e.at >> shift) & (nbkt-1). Bucket
+//     width is 1<<shift ns and nbkt is a power of two, so the day spans
+//     exactly nbkt windows and no two in-day windows alias.
+//   - overflow:  heapified events with at >= dayEnd ("next day or
+//     later"); drained forward one day at a time.
+//
+// Servicing advances the window over the wheel, bulk-heapifying one
+// bucket at a time into front. When the calendar part is empty the
+// queue re-anchors the day directly at the overflow minimum, so sparse
+// stretches cost O(log overflow) rather than a walk over empty buckets.
+//
+// Resizing: the wheel doubles when occupancy exceeds calGrowFactor
+// events per bucket and halves (rebuilt to fit) when it falls below a
+// quarter bucket, recalibrating the bucket width from a ring of sampled
+// non-zero pop gaps (zero gaps — same-instant bursts — are ignored, or
+// a burst of ties would drive the width to the floor). All bounds are
+// powers of two so window indexing is a shift and a mask.
+type calQueue struct {
+	front    quadQueue
+	buckets  [][]event
+	overflow quadQueue
+
+	n    int // total entries across all three stores
+	bktN int // entries in buckets only
+
+	nbkt  int  // len(buckets); power of two
+	shift uint // bucket width = 1 << shift nanoseconds
+
+	winStart Time // inclusive start of the service window
+	winEnd   Time // exclusive end of the service window (maxTime = terminal)
+	dayStart Time // inclusive start of the current day
+	dayEnd   Time // exclusive end of the current day
+	cur      int  // wheel index of the service window
+
+	lastPop Time // previous pop's timestamp, for gap sampling
+	gaps    [calGapSamples]Time
+	gapIdx  int
+	gapN    int
+
+	scratch []event // reused gather buffer for rebuilds
+}
+
+const (
+	maxTime = Time(math.MaxInt64)
+
+	calMinBuckets = 1 << 4  // 16
+	calMaxBuckets = 1 << 20 // ~1M buckets; beyond this, occupancy just grows
+	calMinShift   = 9       // 512 ns — below any protocol timing constant
+	calMaxShift   = 36      // ~69 s — above the longest mobility/route timer gap
+	calInitShift  = 15      // ~33 µs — MAC slot-time scale, the seed workload
+	calGapSamples = 32
+	calGrowFactor = 2 // grow when n > calGrowFactor * nbkt
+)
+
+func newCalQueue() *calQueue {
+	q := &calQueue{
+		buckets: make([][]event, calMinBuckets),
+		nbkt:    calMinBuckets,
+		shift:   calInitShift,
+	}
+	q.anchorAt(0)
+	return q
+}
+
+func (q *calQueue) len() int { return q.n }
+
+func satAddTime(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return maxTime
+}
+
+// anchorAt positions the day and service window so the first window
+// contains t. It touches geometry only; the caller is responsible for
+// (re)placing any events. When the window end saturates the queue
+// enters terminal mode: one unbounded window, every event in front.
+func (q *calQueue) anchorAt(t Time) {
+	q.winStart = (t >> q.shift) << q.shift
+	q.winEnd = satAddTime(q.winStart, Time(1)<<q.shift)
+	q.dayStart = q.winStart
+	q.dayEnd = satAddTime(q.winStart, Time(q.nbkt)<<q.shift)
+	if q.winEnd == maxTime {
+		q.dayEnd = maxTime
+	}
+	q.cur = int(t>>q.shift) & (q.nbkt - 1)
+}
+
+// anchor starts a fresh day at t and pulls every overflow event due
+// within it into the calendar. Called with the calendar part empty.
+func (q *calQueue) anchor(t Time) {
+	q.anchorAt(t)
+	for q.overflow.len() > 0 {
+		if e := q.overflow.peek(); e.at < q.dayEnd || q.winEnd == maxTime {
+			q.place(q.overflow.pop())
+		} else {
+			break
+		}
+	}
+}
+
+// place routes one event to the store its timestamp belongs in. In
+// terminal mode (winEnd == maxTime) everything goes to front — the
+// queue degenerates to a plain heap rather than looping on a day that
+// can no longer advance.
+func (q *calQueue) place(e event) {
+	switch {
+	case e.at < q.winEnd || q.winEnd == maxTime:
+		q.front.push(e)
+	case e.at < q.dayEnd:
+		i := int(e.at>>q.shift) & (q.nbkt - 1)
+		q.buckets[i] = append(q.buckets[i], e)
+		q.bktN++
+	default:
+		q.overflow.push(e)
+	}
+}
+
+func (q *calQueue) push(e event) {
+	q.place(e)
+	q.n++
+	if q.n > calGrowFactor*q.nbkt && q.nbkt < calMaxBuckets {
+		q.rebuild(q.nbkt << 1)
+	}
+}
+
+// service restores the invariant that front holds the global minimum,
+// advancing the window across the wheel and re-anchoring past empty
+// stretches. No-op when front is already non-empty or the queue is
+// empty.
+func (q *calQueue) service() {
+	for q.front.len() == 0 {
+		if q.bktN == 0 {
+			if q.overflow.len() == 0 {
+				return // queue empty
+			}
+			// Calendar empty: jump the day straight to the overflow
+			// minimum instead of walking empty windows toward it. The
+			// minimum lands in the first window, so front fills here.
+			q.anchor(q.overflow.peek().at)
+			continue
+		}
+		// Some bucket in the current day is non-empty; walk to it one
+		// window at a time (empty checks are O(1) per window).
+		q.cur = (q.cur + 1) & (q.nbkt - 1)
+		q.winStart = q.winEnd
+		q.winEnd = satAddTime(q.winStart, Time(1)<<q.shift)
+		if q.winStart >= q.dayEnd {
+			// Defensive: with bktN > 0 the walk finds a bucket before
+			// the day ends, but re-anchoring keeps even an impossible
+			// state from spinning.
+			q.anchor(q.dayEnd)
+			continue
+		}
+		if b := q.buckets[q.cur]; len(b) > 0 {
+			q.bktN -= len(b)
+			q.loadFront(b)
+			q.buckets[q.cur] = b[:0]
+		}
+	}
+}
+
+// loadFront bulk-loads one bucket into the (empty) front heap with
+// Floyd construction — O(k) instead of k heap pushes.
+func (q *calQueue) loadFront(b []event) {
+	q.front.a = append(q.front.a, b...)
+	for i := (len(q.front.a) - 2) >> 2; i >= 0; i-- {
+		q.front.siftDown(i)
+	}
+}
+
+func (q *calQueue) peek() event {
+	q.service()
+	return q.front.peek()
+}
+
+func (q *calQueue) pop() event {
+	q.service()
+	e := q.front.pop()
+	q.n--
+	if e.at > q.lastPop {
+		q.gaps[q.gapIdx] = e.at - q.lastPop
+		q.gapIdx = (q.gapIdx + 1) % calGapSamples
+		if q.gapN < calGapSamples {
+			q.gapN++
+		}
+	}
+	q.lastPop = e.at
+	if q.nbkt > calMinBuckets && q.n < q.nbkt>>2 {
+		q.rebuild(calFitBuckets(q.n))
+	}
+	return e
+}
+
+// calFitBuckets picks the wheel size for a population of n events:
+// the smallest power of two ≥ n, clamped to the configured bounds.
+func calFitBuckets(n int) int {
+	if n <= calMinBuckets {
+		return calMinBuckets
+	}
+	b := 1 << bits.Len(uint(n-1))
+	if b > calMaxBuckets {
+		return calMaxBuckets
+	}
+	return b
+}
+
+// calibratedShift derives the bucket width from the sampled pop gaps:
+// three times the mean non-zero gap, rounded up to a power of two, so
+// a bucket holds a few events on average. With no samples yet the
+// current width is kept.
+func (q *calQueue) calibratedShift() uint {
+	var sum Time
+	cnt := 0
+	for i := 0; i < q.gapN; i++ {
+		if g := q.gaps[i]; g > 0 {
+			sum += g
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return q.shift
+	}
+	target := uint64(3 * (sum / Time(cnt)))
+	shift := uint(bits.Len64(target))
+	if shift < calMinShift {
+		return calMinShift
+	}
+	if shift > calMaxShift {
+		return calMaxShift
+	}
+	return shift
+}
+
+// rebuild regenerates the calendar with a new wheel size and a freshly
+// calibrated bucket width, re-anchored at the current minimum. Cost is
+// O(n); growth doubles and shrink quarters, so it amortises to O(1)
+// per operation.
+func (q *calQueue) rebuild(nbkt int) {
+	all := q.scratch[:0]
+	all = append(all, q.front.a...)
+	for i := range q.buckets {
+		all = append(all, q.buckets[i]...)
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	all = append(all, q.overflow.a...)
+	q.front.a = q.front.a[:0]
+	q.overflow.a = q.overflow.a[:0]
+	q.bktN = 0
+	if nbkt != q.nbkt {
+		q.buckets = make([][]event, nbkt)
+		q.nbkt = nbkt
+	}
+	q.shift = q.calibratedShift()
+
+	min := maxTime
+	for _, e := range all {
+		if e.at < min {
+			min = e.at
+		}
+	}
+	if len(all) == 0 {
+		min = q.winStart
+	}
+	q.anchorAt(min)
+	for _, e := range all {
+		q.place(e)
+	}
+	q.scratch = all[:0]
+}
+
+func (q *calQueue) compact(keep func(int32) bool) {
+	q.front.compact(keep)
+	q.overflow.compact(keep)
+	q.bktN = 0
+	for i, b := range q.buckets {
+		live := b[:0]
+		for _, e := range b {
+			if keep(e.slot) {
+				live = append(live, e)
+			}
+		}
+		q.buckets[i] = live
+		q.bktN += len(live)
+	}
+	q.n = q.front.len() + q.bktN + q.overflow.len()
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// calDrain pops everything and checks the (at, seq) total order.
+func calDrain(t *testing.T, q *calQueue) []event {
+	t.Helper()
+	var out []event
+	for q.len() > 0 {
+		e := q.pop()
+		if n := len(out); n > 0 && e.less(out[n-1]) {
+			t.Fatalf("pop order violated: %+v after %+v", e, out[n-1])
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestCalQueueGrowAndShrink pushes enough events to force several wheel
+// doublings, drains most of them across the shrink threshold, and
+// checks total order and exact population throughout.
+func TestCalQueueGrowAndShrink(t *testing.T) {
+	q := newCalQueue()
+	rng := rand.New(rand.NewSource(3))
+	const n = 5000
+	want := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		e := event{at: Time(rng.Intn(1 << 30)), seq: uint64(i), slot: int32(i)}
+		q.push(e)
+		want = append(want, e)
+	}
+	if q.nbkt <= calMinBuckets {
+		t.Fatalf("wheel never grew: %d buckets for %d events", q.nbkt, n)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+	for i := 0; i < n-5; i++ {
+		if got := q.pop(); got != want[i] {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+	if q.nbkt != calMinBuckets {
+		t.Fatalf("wheel never shrank back: %d buckets for %d events", q.nbkt, q.len())
+	}
+	for i := n - 5; i < n; i++ {
+		if got := q.pop(); got != want[i] {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after full drain: %d left", q.len())
+	}
+}
+
+// TestCalQueueOverflowReAnchor interleaves a dense near cluster with
+// far mobility-scale timers, so draining must cross several days and
+// the empty-calendar jump must re-anchor at the overflow minimum
+// rather than walking hours of empty windows.
+func TestCalQueueOverflowReAnchor(t *testing.T) {
+	q := newCalQueue()
+	seq := uint64(0)
+	push := func(at Time) {
+		q.push(event{at: at, seq: seq, slot: int32(seq)})
+		seq++
+	}
+	for i := 0; i < 100; i++ {
+		push(Time(i%7) * 10 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		push(Time(i+1) * time.Hour)
+	}
+	if q.overflow.len() == 0 {
+		t.Fatal("hour-scale timers never reached the overflow heap")
+	}
+	got := calDrain(t, q)
+	if len(got) != 200 {
+		t.Fatalf("drained %d events, want 200", len(got))
+	}
+	if got[len(got)-1].at != 100*time.Hour {
+		t.Fatalf("last pop at %v, want 100h", got[len(got)-1].at)
+	}
+}
+
+// TestCalQueueSaturation pins the terminal-window behaviour: events at
+// or near the maximum representable time must be stored and drained in
+// order, not spin the day-advance loop or alias earlier windows.
+func TestCalQueueSaturation(t *testing.T) {
+	q := newCalQueue()
+	ats := []Time{0, maxTime, maxTime - 1, 1, maxTime, maxTime - (1 << 40)}
+	for i, at := range ats {
+		q.push(event{at: at, seq: uint64(i), slot: int32(i)})
+	}
+	got := calDrain(t, q)
+	if len(got) != len(ats) {
+		t.Fatalf("drained %d events, want %d", len(got), len(ats))
+	}
+	wantSeq := []uint64{0, 3, 5, 2, 1, 4}
+	for i, e := range got {
+		if e.seq != wantSeq[i] {
+			t.Fatalf("pop %d: got seq %d, want %d", i, e.seq, wantSeq[i])
+		}
+	}
+	// The queue must keep working after visiting the terminal window.
+	q.push(event{at: 5, seq: 100, slot: 100})
+	if e := q.pop(); e.seq != 100 {
+		t.Fatalf("post-terminal pop: got %+v", e)
+	}
+}
+
+// TestCalQueueCompact spreads events across front, buckets and
+// overflow, compacts half away, and checks the survivors' population
+// and order.
+func TestCalQueueCompact(t *testing.T) {
+	q := newCalQueue()
+	for i := 0; i < 600; i++ {
+		var at Time
+		switch i % 3 {
+		case 0:
+			at = Time(i) * time.Microsecond
+		case 1:
+			at = Time(i) * time.Millisecond
+		default:
+			at = Time(i) * time.Minute
+		}
+		q.push(event{at: at, seq: uint64(i), slot: int32(i)})
+	}
+	q.peek() // force a bucket into front
+	q.compact(func(slot int32) bool { return slot%2 == 0 })
+	if q.len() != 300 {
+		t.Fatalf("compact left %d events, want 300", q.len())
+	}
+	got := calDrain(t, q)
+	for _, e := range got {
+		if e.slot%2 != 0 {
+			t.Fatalf("compact kept slot %d", e.slot)
+		}
+	}
+	if len(got) != 300 {
+		t.Fatalf("drained %d events, want 300", len(got))
+	}
+}
+
+// TestCalQueueCalibratedShiftClamps pins the width-recalibration
+// bounds: zero gaps (same-instant bursts) never drive the width below
+// the floor, and huge gaps never push it past the ceiling.
+func TestCalQueueCalibratedShiftClamps(t *testing.T) {
+	q := newCalQueue()
+	if got := q.calibratedShift(); got != calInitShift {
+		t.Fatalf("no samples: shift %d, want the current %d kept", got, calInitShift)
+	}
+	// Same-instant bursts record no samples at all.
+	for i := 0; i < 100; i++ {
+		q.push(event{at: 42, seq: uint64(i), slot: int32(i)})
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	if q.gapN != 1 { // only the 0→42 step registers
+		t.Fatalf("same-instant burst recorded %d gap samples, want 1", q.gapN)
+	}
+	// Tiny gaps clamp at the floor…
+	q.gapN, q.gapIdx = 0, 0
+	for i := 0; i < calGapSamples; i++ {
+		q.gaps[i] = 1
+	}
+	q.gapN = calGapSamples
+	if got := q.calibratedShift(); got != calMinShift {
+		t.Fatalf("1ns gaps: shift %d, want floor %d", got, calMinShift)
+	}
+	// …and day-scale gaps clamp at the ceiling.
+	for i := 0; i < calGapSamples; i++ {
+		q.gaps[i] = 24 * time.Hour
+	}
+	if got := q.calibratedShift(); got != calMaxShift {
+		t.Fatalf("24h gaps: shift %d, want ceiling %d", got, calMaxShift)
+	}
+}
