@@ -213,6 +213,17 @@ const (
 	SchedulerSharded = sim.SchedulerSharded
 )
 
+// SchedulerNames lists the registered scheduler kinds as
+// ParseSchedulerKind spells them.
+func SchedulerNames() string { return sim.SchedulerNames() }
+
+// ParseSchedulerKind resolves a -scheduler flag value ("serial",
+// "sharded") to a SchedulerKind; the error of an unknown name
+// enumerates the registered kinds.
+func ParseSchedulerKind(name string) (SchedulerKind, error) {
+	return sim.ParseSchedulerKind(name)
+}
+
 // LargeScaleXs returns the node counts of the large-scale experiment
 // family (100..1000 nodes at constant density; see EXPERIMENTS.md §L).
 func LargeScaleXs() []float64 { return scenario.LargeScaleXs() }

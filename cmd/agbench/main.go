@@ -241,14 +241,9 @@ func run(args []string) error {
 		return fmt.Errorf("invalid -rxmodel %q (want batch or ref)", *rxmodel)
 	}
 
-	var schedKind sim.SchedulerKind
-	switch *schedStr {
-	case "serial":
-		schedKind = sim.SchedulerSerial
-	case "sharded":
-		schedKind = sim.SchedulerSharded
-	default:
-		return fmt.Errorf("invalid -scheduler %q (want %s)", *schedStr, sim.SchedulerNames())
+	schedKind, err := sim.ParseSchedulerKind(*schedStr)
+	if err != nil {
+		return fmt.Errorf("invalid -scheduler: %w", err)
 	}
 	if *workers < 0 {
 		return fmt.Errorf("invalid -workers %d", *workers)

@@ -1,0 +1,358 @@
+// Command agnode runs one live protocol node: the same multicast
+// routing and anonymous-gossip engines the simulator drives, bound to
+// a real UDP socket through the runtime/netrt runtime.
+//
+// A three-node loopback cluster (see examples/loopback3 for the
+// in-process equivalent):
+//
+//	agnode -id 1 -listen 127.0.0.1:7001 -peer 2=127.0.0.1:7002 -peer 3=127.0.0.1:7003 -api 127.0.0.1:8001 &
+//	agnode -id 2 -listen 127.0.0.1:7002 -peer 1=127.0.0.1:7001 -peer 3=127.0.0.1:7003 -api 127.0.0.1:8002 &
+//	agnode -id 3 -listen 127.0.0.1:7003 -peer 1=127.0.0.1:7001 -peer 2=127.0.0.1:7002 -api 127.0.0.1:8003 &
+//	curl -X POST http://127.0.0.1:8001/publish
+//	curl http://127.0.0.1:8002/stats
+//	curl -N http://127.0.0.1:8003/subscribe   # SSE delivery stream
+//
+// -stack accepts any stack the protocol registry knows ("flood",
+// "maodv", "odmrp+gossip", ...). Every node of a cluster must run the
+// same stack. Peer tables are static: each -peer names one remote node
+// and duplicate IDs — in the peer table or joining the transport — are
+// rejected at startup, exactly as the simulated radio rejects duplicate
+// attachments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"anongossip/internal/node"
+	"anongossip/internal/pkt"
+	"anongossip/internal/runtime/netrt"
+	"anongossip/internal/stack"
+	"anongossip/internal/stats"
+
+	// Protocol packages register their stacks at init time.
+	_ "anongossip/internal/flood"
+	_ "anongossip/internal/gossip"
+	_ "anongossip/internal/maodv"
+	_ "anongossip/internal/odmrp"
+)
+
+// defaultGroup matches the simulator's single experiment group.
+const defaultGroup = 0xE0000001
+
+// peerFlag is one "-peer id=host:port" argument.
+type peerFlag struct {
+	id   pkt.NodeID
+	addr string
+}
+
+// daemonConfig is everything a daemon needs besides its transport.
+type daemonConfig struct {
+	ID        pkt.NodeID
+	Stack     stack.Spec
+	Group     pkt.GroupID
+	Seed      int64
+	TimeScale float64
+}
+
+// delivery is one application-level data arrival, as reported on
+// /subscribe and counted into /stats.
+type delivery struct {
+	Group     pkt.GroupID `json:"group"`
+	Origin    pkt.NodeID  `json:"origin"`
+	Seq       uint32      `json:"seq"`
+	Recovered bool        `json:"recovered"`
+}
+
+// daemon is one running agnode: a live protocol node plus the client
+// API state. It is transport-agnostic so tests boot whole clusters on
+// the in-process channel transport.
+type daemon struct {
+	cfg daemonConfig
+	pn  *netrt.ProtocolNode
+
+	mu       sync.Mutex
+	arrivals []time.Time // wall-clock delivery instants
+	count    uint64
+	subs     map[chan delivery]struct{}
+}
+
+// newDaemon assembles the stack on tr and joins the group. The node is
+// live when newDaemon returns.
+func newDaemon(cfg daemonConfig, tr netrt.Transport) (*daemon, error) {
+	if cfg.Group == 0 {
+		cfg.Group = defaultGroup
+	}
+	pn, err := netrt.NewProtocolNode(netrt.ProtocolConfig{
+		Node:  netrt.NodeConfig{ID: cfg.ID, TimeScale: cfg.TimeScale},
+		Stack: cfg.Stack,
+		Seed:  cfg.Seed,
+	}, tr)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{cfg: cfg, pn: pn, subs: make(map[chan delivery]struct{})}
+	// Registered before Start: deliveries run on the node's event loop
+	// and must never block it, so subscribers get non-blocking sends.
+	pn.OnDeliver(func(g pkt.GroupID, data *pkt.Data, recovered bool) {
+		ev := delivery{Group: g, Origin: data.Origin, Seq: data.Seq, Recovered: recovered}
+		d.mu.Lock()
+		d.count++
+		d.arrivals = append(d.arrivals, time.Now())
+		for ch := range d.subs {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+		d.mu.Unlock()
+	})
+	pn.Start()
+	if err := pn.Join(cfg.Group); err != nil {
+		pn.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close stops the node.
+func (d *daemon) Close() error { return d.pn.Close() }
+
+// subscribe registers a delivery listener; the returned cancel func
+// removes it.
+func (d *daemon) subscribe() (<-chan delivery, func()) {
+	ch := make(chan delivery, 64)
+	d.mu.Lock()
+	d.subs[ch] = struct{}{}
+	d.mu.Unlock()
+	return ch, func() {
+		d.mu.Lock()
+		delete(d.subs, ch)
+		d.mu.Unlock()
+	}
+}
+
+// statsReport is the /stats response document.
+type statsReport struct {
+	ID        pkt.NodeID  `json:"id"`
+	Stack     string      `json:"stack"`
+	Group     pkt.GroupID `json:"group"`
+	Delivered uint64      `json:"delivered"`
+	// GapMS summarises wall-clock inter-arrival gaps of delivered
+	// packets in milliseconds (the live analogue of the simulator's
+	// delivery distributions, via internal/stats).
+	GapMS    stats.Summary       `json:"gap_ms"`
+	Node     node.Stats          `json:"node"`
+	Recovery stack.RecoveryStats `json:"recovery"`
+	Link     linkStats           `json:"link"`
+}
+
+// linkStats is the JSON shape of the runtime's atomic frame counters.
+type linkStats struct {
+	FramesIn   uint64 `json:"frames_in"`
+	FramesOut  uint64 `json:"frames_out"`
+	BytesIn    uint64 `json:"bytes_in"`
+	BytesOut   uint64 `json:"bytes_out"`
+	Malformed  uint64 `json:"malformed"`
+	Filtered   uint64 `json:"filtered"`
+	SendErrors uint64 `json:"send_errors"`
+	InboxDrops uint64 `json:"inbox_drops"`
+}
+
+// report gathers the full stats document.
+func (d *daemon) report() (*statsReport, error) {
+	ns, err := d.pn.NodeStats()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := d.pn.RecoveryStats()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	count := d.count
+	gaps := make([]float64, 0, len(d.arrivals))
+	for i := 1; i < len(d.arrivals); i++ {
+		gaps = append(gaps, float64(d.arrivals[i].Sub(d.arrivals[i-1]))/float64(time.Millisecond))
+	}
+	d.mu.Unlock()
+	ls := d.pn.Runtime().Stats()
+	return &statsReport{
+		ID:        d.cfg.ID,
+		Stack:     d.pn.Spec().String(),
+		Group:     d.cfg.Group,
+		Delivered: count,
+		GapMS:     stats.Summarize(gaps),
+		Node:      ns,
+		Recovery:  rs,
+		Link: linkStats{
+			FramesIn:   ls.FramesIn.Load(),
+			FramesOut:  ls.FramesOut.Load(),
+			BytesIn:    ls.BytesIn.Load(),
+			BytesOut:   ls.BytesOut.Load(),
+			Malformed:  ls.Malformed.Load(),
+			Filtered:   ls.Filtered.Load(),
+			SendErrors: ls.SendErrors.Load(),
+			InboxDrops: ls.InboxDrops.Load(),
+		},
+	}, nil
+}
+
+// handler builds the client API: POST /publish, GET /subscribe (SSE),
+// GET /stats.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		key, err := d.pn.Publish(d.cfg.Group)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"origin": key.Origin, "seq": key.Seq})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := d.report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("GET /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		ch, cancel := d.subscribe()
+		defer cancel()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case ev := <-ch:
+				payload, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "data: %s\n\n", payload)
+				fl.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	return mux
+}
+
+// parsePeer splits one -peer value.
+func parsePeer(v string) (peerFlag, error) {
+	idStr, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return peerFlag{}, fmt.Errorf("want id=host:port, got %q", v)
+	}
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		return peerFlag{}, fmt.Errorf("bad peer id %q: %v", idStr, err)
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return peerFlag{}, fmt.Errorf("bad peer address %q: %v", addr, err)
+	}
+	return peerFlag{id: pkt.NodeID(id), addr: addr}, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agnode", flag.ContinueOnError)
+	var (
+		id        = fs.Uint("id", 0, "this node's id (required, unique across the cluster)")
+		stackName = fs.String("stack", "flood", "protocol stack: "+strings.Join(stack.Names(), ", "))
+		group     = fs.Uint("group", defaultGroup, "multicast group address")
+		listen    = fs.String("listen", "127.0.0.1:0", "UDP address for protocol frames")
+		api       = fs.String("api", "127.0.0.1:0", "HTTP address for the client API (publish/subscribe/stats)")
+		seed      = fs.Int64("seed", time.Now().UnixNano(), "rng seed for protocol choices")
+		timeScale = fs.Float64("timescale", 1, "protocol seconds per wall second (>1 compresses timers; tests only)")
+	)
+	var peers []peerFlag
+	fs.Func("peer", "peer as id=host:port (repeatable)", func(v string) error {
+		p, err := parsePeer(v)
+		if err != nil {
+			return err
+		}
+		peers = append(peers, p)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == 0 {
+		return fmt.Errorf("agnode: -id is required and must be nonzero")
+	}
+	spec, err := stack.ByName(*stackName)
+	if err != nil {
+		return fmt.Errorf("agnode: invalid -stack: %w", err)
+	}
+
+	tr, err := netrt.NewUDP(*listen)
+	if err != nil {
+		return fmt.Errorf("agnode: %w", err)
+	}
+	for _, p := range peers {
+		if err := tr.AddPeer(p.id, p.addr); err != nil {
+			return fmt.Errorf("agnode: %w", err)
+		}
+	}
+	d, err := newDaemon(daemonConfig{
+		ID:        pkt.NodeID(*id),
+		Stack:     spec,
+		Group:     pkt.GroupID(*group),
+		Seed:      *seed,
+		TimeScale: *timeScale,
+	}, tr)
+	if err != nil {
+		return fmt.Errorf("agnode: %w", err)
+	}
+	defer d.Close()
+
+	ln, err := net.Listen("tcp", *api)
+	if err != nil {
+		return fmt.Errorf("agnode: api listen: %w", err)
+	}
+	fmt.Printf("agnode %d: stack %v, udp %s, api http://%s\n",
+		*id, spec, tr.Addr(), ln.Addr())
+
+	srv := &http.Server{Handler: d.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("agnode %d: %v, shutting down\n", *id, s)
+		srv.Close()
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

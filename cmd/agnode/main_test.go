@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"anongossip/internal/pkt"
+	"anongossip/internal/runtime/netrt"
+	"anongossip/internal/stack"
+)
+
+func TestParsePeer(t *testing.T) {
+	p, err := parsePeer("3=127.0.0.1:7003")
+	if err != nil {
+		t.Fatalf("parsePeer: %v", err)
+	}
+	if p.id != 3 || p.addr != "127.0.0.1:7003" {
+		t.Fatalf("parsePeer = %+v", p)
+	}
+	for _, bad := range []string{"", "3", "x=127.0.0.1:7003", "3=no-port", "3=127.0.0.1"} {
+		if _, err := parsePeer(bad); err == nil {
+			t.Errorf("parsePeer(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-stack", "flood"}); err == nil || !strings.Contains(err.Error(), "-id") {
+		t.Errorf("missing -id err = %v", err)
+	}
+	if err := run([]string{"-id", "1", "-stack", "tarot"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown stack") {
+		t.Errorf("unknown stack err = %v", err)
+	}
+	if err := run([]string{"-id", "1", "-peer", "nonsense"}); err == nil {
+		t.Error("malformed -peer accepted")
+	}
+}
+
+// bootDaemons starts n agnode daemons on one in-process transport with
+// httptest servers in front of their APIs.
+func bootDaemons(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	tr := netrt.NewChanTransport()
+	apis := make([]*httptest.Server, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := newDaemon(daemonConfig{
+			ID:        pkt.NodeID(i + 1),
+			Stack:     stack.Spec{Routing: "flood"},
+			Seed:      7,
+			TimeScale: 100,
+		}, tr)
+		if err != nil {
+			t.Fatalf("newDaemon %d: %v", i+1, err)
+		}
+		t.Cleanup(func() { d.Close() })
+		srv := httptest.NewServer(d.handler())
+		t.Cleanup(srv.Close)
+		apis = append(apis, srv)
+	}
+	return apis
+}
+
+func getStats(t *testing.T, srv *httptest.Server) statsReport {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats status %d", resp.StatusCode)
+	}
+	var rep statsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	return rep
+}
+
+// TestDaemonClusterEndToEnd boots a 3-daemon loopback cluster and
+// drives the whole client API: subscribe on one node, publish from
+// another, watch the delivery arrive over SSE and in /stats.
+func TestDaemonClusterEndToEnd(t *testing.T) {
+	apis := bootDaemons(t, 3)
+
+	// SSE subscriber on node 3, attached before publishing.
+	req, err := http.NewRequest("GET", apis[2].URL+"/subscribe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /subscribe: %v", err)
+	}
+	defer resp.Body.Close()
+
+	const packets = 5
+	for i := 0; i < packets; i++ {
+		pr, err := http.Post(apis[0].URL+"/publish", "", nil)
+		if err != nil {
+			t.Fatalf("POST /publish: %v", err)
+		}
+		var key struct {
+			Origin pkt.NodeID `json:"origin"`
+			Seq    uint32     `json:"seq"`
+		}
+		if err := json.NewDecoder(pr.Body).Decode(&key); err != nil {
+			t.Fatalf("publish decode: %v", err)
+		}
+		pr.Body.Close()
+		if key.Origin != 1 {
+			t.Fatalf("publish origin = %v, want 1", key.Origin)
+		}
+	}
+
+	// The SSE stream carries each delivery as one data: line.
+	sse := bufio.NewScanner(resp.Body)
+	seen := 0
+	deadline := time.AfterFunc(20*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for sse.Scan() && seen < packets {
+		line := sse.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev delivery
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("SSE event does not parse: %v (%q)", err, line)
+		}
+		if ev.Origin != 1 {
+			t.Errorf("delivery origin = %v, want 1", ev.Origin)
+		}
+		seen++
+	}
+	if seen < packets {
+		t.Fatalf("SSE stream carried %d deliveries, want %d", seen, packets)
+	}
+
+	// /stats on both receivers reflects full delivery.
+	for i, srv := range apis[1:] {
+		var rep statsReport
+		waitDeadline := time.Now().Add(20 * time.Second)
+		for {
+			rep = getStats(t, srv)
+			if rep.Delivered >= packets || time.Now().After(waitDeadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if rep.Delivered != packets {
+			t.Errorf("node %d delivered %d, want %d", i+2, rep.Delivered, packets)
+		}
+		if rep.Stack != "flood" {
+			t.Errorf("node %d stack = %q", i+2, rep.Stack)
+		}
+		if rep.Link.FramesIn == 0 {
+			t.Errorf("node %d link counters empty: %+v", i+2, rep.Link)
+		}
+		if rep.GapMS.N != packets-1 {
+			t.Errorf("node %d gap summary N = %d, want %d", i+2, rep.GapMS.N, packets-1)
+		}
+	}
+
+	// The publisher's own stats count sends, not deliveries.
+	pub := getStats(t, apis[0])
+	if pub.Node.Sent == 0 {
+		t.Errorf("publisher Sent = 0: %+v", pub.Node)
+	}
+}
+
+// TestDaemonDuplicateID pins the cluster-level duplicate-identity
+// contract: a second daemon claiming a live node's ID must fail to
+// start with a clear error.
+func TestDaemonDuplicateID(t *testing.T) {
+	tr := netrt.NewChanTransport()
+	cfg := daemonConfig{ID: 9, Stack: stack.Spec{Routing: "flood"}, TimeScale: 100}
+	d, err := newDaemon(cfg, tr)
+	if err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+	defer d.Close()
+	if _, err := newDaemon(cfg, tr); err == nil {
+		t.Fatal("duplicate-ID daemon started, want error")
+	} else if !strings.Contains(err.Error(), "already joined") {
+		t.Errorf("duplicate-ID error %q does not name the cause", err)
+	}
+}

@@ -88,13 +88,8 @@ func run(args []string) error {
 		}
 	}
 	cfg.Seed = *seed
-	switch *schedStr {
-	case "serial":
-		cfg.Scheduler = anongossip.SchedulerSerial
-	case "sharded":
-		cfg.Scheduler = anongossip.SchedulerSharded
-	default:
-		return fmt.Errorf("invalid -scheduler %q (want serial or sharded)", *schedStr)
+	if cfg.Scheduler, err = anongossip.ParseSchedulerKind(*schedStr); err != nil {
+		return fmt.Errorf("invalid -scheduler: %w", err)
 	}
 	cfg.Workers = *workers
 	if cfg.Scheduler == anongossip.SchedulerSharded && cfg.Workers == 0 {

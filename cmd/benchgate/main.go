@@ -403,6 +403,13 @@ func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, erro
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return nil, fmt.Errorf("%s does not parse as an agbench record: %w", path, err)
 	}
+	// A record from an unknown kernel is not comparable to anything
+	// this binary can run (legacy records omit the field).
+	if rec.Scheduler != "" {
+		if _, err := sim.ParseSchedulerKind(rec.Scheduler); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
 	// Pull the per-figure perf numbers out of the raw figure list.
 	var figs []struct {
 		Figure string `json:"figure"`

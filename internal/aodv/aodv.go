@@ -22,6 +22,7 @@ import (
 
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
+	"anongossip/internal/runtime"
 	"anongossip/internal/sim"
 )
 
@@ -125,7 +126,7 @@ type Stats struct {
 type Router struct {
 	cfg   Config
 	stack *node.Stack
-	sched *sim.Scheduler
+	sched runtime.Clock
 	rng   *sim.RNG
 
 	seq    uint32
@@ -156,7 +157,7 @@ func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
 	r := &Router{
 		cfg:       cfg,
 		stack:     st,
-		sched:     st.Scheduler(),
+		sched:     st.Clock(),
 		rng:       rng,
 		routes:    make(map[pkt.NodeID]*route),
 		pending:   make(map[pkt.NodeID]*discovery),

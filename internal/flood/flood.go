@@ -15,6 +15,7 @@ import (
 
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
+	"anongossip/internal/runtime"
 	"anongossip/internal/sim"
 )
 
@@ -59,7 +60,7 @@ type Stats struct {
 type Router struct {
 	cfg   Config
 	stack *node.Stack
-	sched *sim.Scheduler
+	sched runtime.Clock
 	rng   *sim.RNG
 
 	members map[pkt.GroupID]bool
@@ -86,7 +87,7 @@ func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
 	r := &Router{
 		cfg:     cfg,
 		stack:   st,
-		sched:   st.Scheduler(),
+		sched:   st.Clock(),
 		rng:     rng,
 		members: make(map[pkt.GroupID]bool),
 		seen:    make(map[pkt.SeqKey]struct{}, cfg.CacheSize),

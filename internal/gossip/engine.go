@@ -24,6 +24,7 @@ import (
 
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
+	"anongossip/internal/runtime"
 	"anongossip/internal/sim"
 )
 
@@ -167,7 +168,7 @@ type groupState struct {
 type Engine struct {
 	cfg   Config
 	stack *node.Stack
-	sched *sim.Scheduler
+	sched runtime.Clock
 	rng   *sim.RNG
 	tree  Tree
 	hops  HopEstimator
@@ -184,7 +185,7 @@ func New(st *node.Stack, tree Tree, rng *sim.RNG, cfg Config) *Engine {
 	e := &Engine{
 		cfg:    cfg,
 		stack:  st,
-		sched:  st.Scheduler(),
+		sched:  st.Clock(),
 		rng:    rng,
 		tree:   tree,
 		groups: make(map[pkt.GroupID]*groupState),

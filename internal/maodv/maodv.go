@@ -34,6 +34,7 @@ import (
 	"anongossip/internal/aodv"
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
+	"anongossip/internal/runtime"
 	"anongossip/internal/sim"
 )
 
@@ -219,7 +220,7 @@ func (g *group) sortedNextIDs() []pkt.NodeID {
 type Router struct {
 	cfg   Config
 	stack *node.Stack
-	sched *sim.Scheduler
+	sched runtime.Clock
 	rng   *sim.RNG
 	uni   *aodv.Router
 
@@ -239,7 +240,7 @@ func New(st *node.Stack, uni *aodv.Router, rng *sim.RNG, cfg Config) *Router {
 	r := &Router{
 		cfg:    cfg,
 		stack:  st,
-		sched:  st.Scheduler(),
+		sched:  st.Clock(),
 		rng:    rng,
 		uni:    uni,
 		groups: make(map[pkt.GroupID]*group),

@@ -2,6 +2,11 @@
 // packet kind, transparent unicast forwarding through a pluggable routing
 // table (AODV in this reproduction), one-hop broadcast, and the
 // link-failure / neighbour-activity signals the routing protocols consume.
+//
+// The layer is runtime-agnostic: it programs against runtime.Runtime
+// (clock, timers, one-hop send, identity), so the same stack — and every
+// protocol engine above it — runs over the simulated MAC/radio
+// (runtime/simrt) and over live transports (runtime/netrt) unchanged.
 package node
 
 import (
@@ -11,6 +16,8 @@ import (
 	"anongossip/internal/mobility"
 	"anongossip/internal/pkt"
 	"anongossip/internal/radio"
+	rt "anongossip/internal/runtime"
+	"anongossip/internal/runtime/simrt"
 	"anongossip/internal/sim"
 	"anongossip/internal/trace"
 )
@@ -61,11 +68,11 @@ type Stats struct {
 	PayloadBytes uint64
 }
 
-// Stack is one node's network layer.
+// Stack is one node's network layer. It is assembled over any
+// runtime.Runtime — see NewOnRuntime — and never inspects which one.
 type Stack struct {
-	id    pkt.NodeID
-	sched *sim.Scheduler
-	dcf   *mac.DCF
+	id pkt.NodeID
+	rt rt.Runtime
 
 	router   UnicastRouter
 	handlers map[pkt.Kind]Handler
@@ -78,36 +85,38 @@ type Stack struct {
 	stats Stats
 }
 
-// New builds a node stack, attaching a MAC entity on medium for node id.
-// It fails when the medium already has a transceiver for id — a
-// misconfigured scenario (duplicate node IDs) must fail loudly rather
-// than silently sharing a radio.
-func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID,
-	pos mobility.Model, macCfg mac.Config) (*Stack, error) {
+// NewOnRuntime builds a node stack over an assembled runtime, binding
+// the stack's receive and send-completion handlers to it. This is the
+// constructor both the simulated and the live paths share.
+func NewOnRuntime(runtime rt.Runtime) *Stack {
 	s := &Stack{
-		id:       id,
-		sched:    sched,
+		id:       runtime.ID(),
+		rt:       runtime,
 		handlers: make(map[pkt.Kind]Handler),
 	}
-	dcf, err := mac.New(sched, rng.Derive(fmt.Sprintf("mac/%d", id)), medium, id, pos, macCfg, mac.Callbacks{
-		OnReceive:  s.onReceive,
-		OnSendDone: s.onSendDone,
-	})
+	runtime.Bind(s.onReceive, s.onSendDone)
+	return s
+}
+
+// New builds a node stack on the simulation kernel, attaching a MAC
+// entity on medium for node id (the runtime/simrt path). It fails when
+// the medium already has a transceiver for id — a misconfigured
+// scenario (duplicate node IDs) must fail loudly rather than silently
+// sharing a radio.
+func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID,
+	pos mobility.Model, macCfg mac.Config) (*Stack, error) {
+	runtime, err := simrt.New(sched, rng, medium, id, pos, macCfg)
 	if err != nil {
 		return nil, err
 	}
-	s.dcf = dcf
-	return s, nil
+	return NewOnRuntime(runtime), nil
 }
 
 // ID returns the node's address.
 func (s *Stack) ID() pkt.NodeID { return s.id }
 
-// Scheduler exposes the simulation clock to protocols.
-func (s *Stack) Scheduler() *sim.Scheduler { return s.sched }
-
-// MAC exposes the MAC entity for statistics.
-func (s *Stack) MAC() *mac.DCF { return s.dcf }
+// Clock exposes the runtime's clock and timer surface to protocols.
+func (s *Stack) Clock() rt.Clock { return s.rt }
 
 // Stats returns a copy of the network-layer counters.
 func (s *Stack) Stats() Stats { return s.stats }
@@ -147,7 +156,7 @@ func (s *Stack) traceEvent(op trace.Op, p *pkt.Packet, peer pkt.NodeID) {
 		return
 	}
 	s.tracer(trace.Event{
-		At:   s.sched.Now(),
+		At:   s.rt.Now(),
 		Node: s.id,
 		Op:   op,
 		Kind: p.Kind,
@@ -216,7 +225,7 @@ func (s *Stack) Forward(p *pkt.Packet, forwarded bool) {
 }
 
 func (s *Stack) transmit(p *pkt.Packet, linkDst pkt.NodeID, forwarded bool) {
-	if !s.dcf.Send(p, linkDst) {
+	if !s.rt.Send(p, linkDst) {
 		s.stats.MACRejects++
 		return
 	}

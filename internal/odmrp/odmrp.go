@@ -27,6 +27,7 @@ import (
 	"anongossip/internal/gossip"
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
+	"anongossip/internal/runtime"
 	"anongossip/internal/sim"
 )
 
@@ -111,7 +112,7 @@ type groupState struct {
 type Router struct {
 	cfg   Config
 	stack *node.Stack
-	sched *sim.Scheduler
+	sched runtime.Clock
 	rng   *sim.RNG
 
 	groups map[pkt.GroupID]*groupState
@@ -124,7 +125,7 @@ func New(st *node.Stack, rng *sim.RNG, cfg Config) *Router {
 	r := &Router{
 		cfg:    cfg,
 		stack:  st,
-		sched:  st.Scheduler(),
+		sched:  st.Clock(),
 		rng:    rng,
 		groups: make(map[pkt.GroupID]*groupState),
 	}

@@ -1,0 +1,91 @@
+package pkt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A Frame is the link-layer unit the live transports (runtime/netrt)
+// exchange: the transmitting node, the link-level destination
+// (Broadcast for one-hop broadcasts), and the network-layer packet. It
+// carries exactly what the simulated MAC hands the network layer on
+// reception, so both runtimes deliver identical (packet, from,
+// broadcast) triples.
+//
+// Wire layout (big endian, like every pkt codec):
+//
+//	magic(2) | version(1) | from(4) | linkDst(4) | packet...
+//
+// The magic and version bytes make stray or stale datagrams on a live
+// socket fail fast with a typed error instead of being misparsed.
+type Frame struct {
+	// From is the link-level transmitter (the previous hop).
+	From NodeID
+	// LinkDst is the link-level destination; Broadcast addresses every
+	// neighbour on the transport.
+	LinkDst NodeID
+	// Packet is the network-layer payload.
+	Packet *Packet
+}
+
+// frameMagic marks agnode link frames on the wire ("AG" in ASCII).
+const frameMagic uint16 = 0x4147
+
+// FrameVersion is the current frame wire format version.
+const FrameVersion uint8 = 1
+
+// frameHeaderSize is the marshaled length of the frame header:
+// magic(2) + version(1) + from(4) + linkDst(4).
+const frameHeaderSize = 11
+
+// Frame codec errors.
+var (
+	// ErrBadMagic reports a datagram that is not an agnode frame.
+	ErrBadMagic = errors.New("pkt: bad frame magic")
+	// ErrBadVersion reports a frame from an incompatible peer version.
+	ErrBadVersion = errors.New("pkt: unsupported frame version")
+)
+
+// WireSize returns the exact marshaled frame length in bytes.
+func (f *Frame) WireSize() int { return frameHeaderSize + f.Packet.WireSize() }
+
+// EncodeFrame marshals the frame.
+func EncodeFrame(f *Frame) []byte {
+	b := make([]byte, 0, f.WireSize())
+	b = appendU16(b, frameMagic)
+	b = append(b, FrameVersion)
+	b = appendU32(b, uint32(f.From))
+	b = appendU32(b, uint32(f.LinkDst))
+	b = append(b, byte(f.Packet.Kind))
+	b = appendU32(b, uint32(f.Packet.Src))
+	b = appendU32(b, uint32(f.Packet.Dst))
+	b = append(b, f.Packet.TTL)
+	b = appendU16(b, uint16(f.Packet.Body.WireSize()))
+	return f.Packet.Body.AppendTo(b)
+}
+
+// DecodeFrame unmarshals a frame produced by EncodeFrame. Malformed
+// input — short buffers, wrong magic or version, truncated or trailing
+// packet bytes, unknown body kinds — yields an error, never a panic:
+// on a live socket every datagram is attacker- (or at least
+// misconfiguration-) controlled.
+func DecodeFrame(b []byte) (*Frame, error) {
+	if len(b) < frameHeaderSize {
+		return nil, fmt.Errorf("frame header: %w", ErrTruncated)
+	}
+	if u16(b) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if b[2] != FrameVersion {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, b[2], FrameVersion)
+	}
+	p, err := Decode(b[frameHeaderSize:])
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{
+		From:    NodeID(u32(b[3:])),
+		LinkDst: NodeID(u32(b[7:])),
+		Packet:  p,
+	}, nil
+}

@@ -1,0 +1,112 @@
+package pkt
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrameRoundTripAllKinds round-trips a frame carrying every body
+// type through the wire codec.
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	for _, body := range sampleBodies() {
+		body := body
+		t.Run(body.Kind().String(), func(t *testing.T) {
+			p := NewPacket(3, 9, body)
+			p.TTL = 17
+			f := &Frame{From: 5, LinkDst: Broadcast, Packet: p}
+			raw := EncodeFrame(f)
+			if len(raw) != f.WireSize() {
+				t.Fatalf("encoded length %d != WireSize %d", len(raw), f.WireSize())
+			}
+			got, err := DecodeFrame(raw)
+			if err != nil {
+				t.Fatalf("DecodeFrame: %v", err)
+			}
+			if !reflect.DeepEqual(got, f) {
+				t.Fatalf("round trip mismatch:\n got %+v (packet %+v)\nwant %+v (packet %+v)",
+					got, got.Packet, f, f.Packet)
+			}
+		})
+	}
+}
+
+// TestFrameRoundTripProperty drives random frame headers over random
+// bodies through the codec with testing/quick.
+func TestFrameRoundTripProperty(t *testing.T) {
+	bodies := sampleBodies()
+	rng := rand.New(rand.NewSource(5))
+	prop := func(from, linkDst uint32, src, dst uint32, ttl uint8, bodyIdx uint16) bool {
+		p := NewPacket(NodeID(src), NodeID(dst), bodies[int(bodyIdx)%len(bodies)])
+		p.TTL = ttl
+		f := &Frame{From: NodeID(from), LinkDst: NodeID(linkDst), Packet: p}
+		got, err := DecodeFrame(EncodeFrame(f))
+		return err == nil && reflect.DeepEqual(got, f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	good := EncodeFrame(&Frame{From: 1, LinkDst: Broadcast,
+		Packet: NewPacket(1, 2, &Hello{Seq: 4})})
+
+	t.Run("truncated header", func(t *testing.T) {
+		for n := 0; n < frameHeaderSize; n++ {
+			if _, err := DecodeFrame(good[:n]); !errors.Is(err, ErrTruncated) {
+				t.Errorf("len %d: err = %v, want ErrTruncated", n, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] ^= 0xFF
+		if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[2] = FrameVersion + 1
+		if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("truncated packet", func(t *testing.T) {
+		if _, err := DecodeFrame(good[:len(good)-1]); err == nil {
+			t.Error("truncated packet accepted")
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := DecodeFrame(append(append([]byte(nil), good...), 0)); err == nil {
+			t.Error("trailing bytes accepted")
+		}
+	})
+}
+
+// TestDecodeFrameFuzzNoPanic throws random and mutated-valid bytes at
+// the frame decoder: every datagram from a live socket is untrusted,
+// so the decoder must fail with errors, never panics.
+func TestDecodeFrameFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		buf := make([]byte, rng.Intn(128))
+		rng.Read(buf)
+		_, _ = DecodeFrame(buf)
+	}
+	// Mutated valid frames exercise the deeper body decoders.
+	for _, body := range sampleBodies() {
+		raw := EncodeFrame(&Frame{From: 1, LinkDst: 2, Packet: NewPacket(1, 2, body)})
+		for i := 0; i < 500; i++ {
+			mut := append([]byte(nil), raw...)
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			if rng.Intn(4) == 0 {
+				mut = mut[:rng.Intn(len(mut)+1)]
+			}
+			_, _ = DecodeFrame(mut)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package netrt implements the runtime boundary over live transports:
+// the same protocol engines that run inside the discrete-event
+// simulator run here as real-time nodes — wall-clock timers, real UDP
+// sockets (or an in-process channel medium for hermetic tests), one
+// goroutine event loop per node.
+//
+// The design deliberately reuses the simulation kernel's timer wheel:
+// each Node owns a private sim.Scheduler and advances it to "scaled
+// wall time since boot" whenever a timer is due or a frame arrives.
+// Engine code therefore executes exactly as it does under the
+// simulator — single-threaded per node, timers as pooled value handles
+// — and the only new machinery is the loop that maps wall time onto
+// the scheduler clock and frames onto the receive path.
+package netrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"anongossip/internal/pkt"
+	rt "anongossip/internal/runtime"
+	"anongossip/internal/sim"
+)
+
+// NodeConfig configures one live node.
+type NodeConfig struct {
+	// ID is the node's address on the transport.
+	ID pkt.NodeID
+	// TimeScale maps wall time onto the node's clock: sim-seconds per
+	// wall-second. 1 (and 0, the zero value) runs protocol timers in
+	// real time; tests compress multi-second protocol cycles (hello
+	// beacons, gossip rounds) with scales of 10–100.
+	TimeScale float64
+	// InboxSize bounds frames queued between the transport and the
+	// event loop; excess frames are dropped and counted, like any
+	// overrun link. 0 means DefaultInboxSize.
+	InboxSize int
+}
+
+// DefaultInboxSize is the frame queue bound when NodeConfig leaves it 0.
+const DefaultInboxSize = 4096
+
+// Stats counts link-runtime activity at one node. All fields are
+// atomics: the transport goroutine and the event loop update them
+// concurrently and anyone may read a consistent-enough snapshot.
+type Stats struct {
+	// FramesIn / FramesOut count frames delivered up the stack and
+	// accepted for transmission.
+	FramesIn, FramesOut atomic.Uint64
+	// BytesIn / BytesOut count the wire bytes of those frames.
+	BytesIn, BytesOut atomic.Uint64
+	// Malformed counts inbound datagrams DecodeFrame rejected.
+	Malformed atomic.Uint64
+	// Filtered counts well-formed frames link-addressed to some other
+	// node (a broadcast-medium transport delivers everything; the
+	// runtime filters like a MAC would).
+	Filtered atomic.Uint64
+	// SendErrors counts frames the transport refused.
+	SendErrors atomic.Uint64
+	// InboxDrops counts frames dropped because the event loop's inbox
+	// was full.
+	InboxDrops atomic.Uint64
+}
+
+// call is one closure posted onto the event loop.
+type call struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Node is one live node: a runtime.Runtime whose clock is scaled wall
+// time and whose link is a Transport. All engine code — timer
+// callbacks, receive handlers, closures posted with Do — executes on
+// the node's single event-loop goroutine, so the engines need no
+// locking, exactly as under the simulator.
+type Node struct {
+	id    pkt.NodeID
+	scale float64
+	sched *sim.Scheduler
+	conn  Conn
+
+	inbox chan []byte
+	calls chan call
+	quit  chan struct{}
+	done  chan struct{}
+
+	start   time.Time
+	started bool
+
+	onRecv rt.ReceiveFunc
+	onDone rt.SendDoneFunc
+
+	stats Stats
+}
+
+var _ rt.Runtime = (*Node)(nil)
+
+// NewNode joins the transport as cfg.ID and returns the (not yet
+// started) node. Frames arriving before Start buffer in the inbox and
+// are delivered once the loop runs. Joining a duplicate ID fails with
+// ErrDuplicateID.
+func NewNode(cfg NodeConfig, tr Transport) (*Node, error) {
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	size := cfg.InboxSize
+	if size <= 0 {
+		size = DefaultInboxSize
+	}
+	n := &Node{
+		id:    cfg.ID,
+		scale: scale,
+		sched: sim.NewScheduler(),
+		inbox: make(chan []byte, size),
+		calls: make(chan call),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	conn, err := tr.Join(cfg.ID, n.enqueue)
+	if err != nil {
+		return nil, err
+	}
+	n.conn = conn
+	return n, nil
+}
+
+// enqueue is the transport's receive sink: non-blocking, counting
+// drops, callable from any goroutine.
+func (n *Node) enqueue(frame []byte) {
+	select {
+	case n.inbox <- frame:
+	default:
+		n.stats.InboxDrops.Add(1)
+	}
+}
+
+// ID implements runtime.Runtime.
+func (n *Node) ID() pkt.NodeID { return n.id }
+
+// Stats returns the node's link-runtime counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Now implements runtime.Clock. Like every Clock method it must only
+// be called from the node's event loop (engine callbacks, Do
+// closures) or before Start.
+func (n *Node) Now() sim.Time { return n.sched.Now() }
+
+// After implements runtime.Clock.
+func (n *Node) After(d sim.Time, fn func()) sim.Timer { return n.sched.After(d, fn) }
+
+// At implements runtime.Clock.
+func (n *Node) At(t sim.Time, fn func()) sim.Timer { return n.sched.At(t, fn) }
+
+// Send implements runtime.Runtime: encode the frame and hand it to the
+// transport.
+func (n *Node) Send(p *pkt.Packet, linkDst pkt.NodeID) bool {
+	frame := pkt.EncodeFrame(&pkt.Frame{From: n.id, LinkDst: linkDst, Packet: p})
+	if err := n.conn.Send(frame, linkDst); err != nil {
+		n.stats.SendErrors.Add(1)
+		return false
+	}
+	n.stats.FramesOut.Add(1)
+	n.stats.BytesOut.Add(uint64(len(frame)))
+	return true
+}
+
+// Bind implements runtime.Runtime.
+func (n *Node) Bind(onReceive rt.ReceiveFunc, onSendDone rt.SendDoneFunc) {
+	n.onRecv, n.onDone = onReceive, onSendDone
+}
+
+// Start launches the event loop. The node's clock starts at zero now.
+func (n *Node) Start() {
+	if n.started {
+		panic("netrt: Node started twice")
+	}
+	n.started = true
+	n.start = time.Now()
+	go n.loop()
+}
+
+// Close stops the event loop and detaches from the transport. Pending
+// timers are abandoned; in-flight Do calls return ErrClosed.
+func (n *Node) Close() error {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+	if n.started {
+		<-n.done
+	} else {
+		close(n.done)
+	}
+	return n.conn.Close()
+}
+
+// Do runs fn on the event loop and waits for it to finish — the only
+// safe way for other goroutines (client APIs, tests) to touch engine
+// state. It fails with ErrClosed once the node is closing.
+func (n *Node) Do(fn func()) error {
+	c := call{fn: fn, done: make(chan struct{})}
+	select {
+	case n.calls <- c:
+	case <-n.quit:
+		return ErrClosed
+	}
+	select {
+	case <-c.done:
+		return nil
+	case <-n.done:
+		select {
+		case <-c.done:
+			return nil
+		default:
+			return ErrClosed
+		}
+	}
+}
+
+// simNow maps the wall clock onto the node's timeline.
+func (n *Node) simNow() sim.Time {
+	return sim.Time(float64(time.Since(n.start)) * n.scale)
+}
+
+// wallDelay converts a node-timeline delay into wall time.
+func (n *Node) wallDelay(d sim.Time) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / n.scale)
+}
+
+// loop is the node's event loop: advance the timer wheel to wall time,
+// sleep until the next timer or an external stimulus, repeat.
+func (n *Node) loop() {
+	defer close(n.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	stopTimer := func(armed bool) {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+	}
+	for {
+		n.sched.Run(n.simNow())
+		var wake <-chan time.Time
+		armed := false
+		if at, ok := n.sched.NextAt(); ok {
+			timer.Reset(n.wallDelay(at - n.sched.Now()))
+			wake, armed = timer.C, true
+		}
+		select {
+		case <-n.quit:
+			stopTimer(armed)
+			return
+		case c := <-n.calls:
+			stopTimer(armed)
+			n.sched.Run(n.simNow())
+			c.fn()
+			close(c.done)
+		case frame := <-n.inbox:
+			stopTimer(armed)
+			n.sched.Run(n.simNow())
+			n.deliver(frame)
+		case <-wake:
+		}
+	}
+}
+
+// deliver decodes one inbound frame on the event loop and hands it up
+// the stack. Malformed or misaddressed frames are counted and dropped
+// — on a live socket they are routine, never fatal.
+func (n *Node) deliver(frame []byte) {
+	f, err := pkt.DecodeFrame(frame)
+	if err != nil {
+		n.stats.Malformed.Add(1)
+		return
+	}
+	if f.From == n.id {
+		// A broadcast-medium transport may echo our own frames back.
+		return
+	}
+	broadcast := f.LinkDst == pkt.Broadcast
+	if !broadcast && f.LinkDst != n.id {
+		n.stats.Filtered.Add(1)
+		return
+	}
+	n.stats.FramesIn.Add(1)
+	n.stats.BytesIn.Add(uint64(len(frame)))
+	if n.onRecv != nil {
+		n.onRecv(f.Packet, f.From, broadcast)
+	}
+}
+
+// String identifies the node in logs.
+func (n *Node) String() string { return fmt.Sprintf("netrt(%v)", n.id) }

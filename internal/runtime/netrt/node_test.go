@@ -1,0 +1,197 @@
+package netrt
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// waitFor polls cond until it holds or the deadline passes. Live-node
+// tests are wall-clock driven, so assertions poll rather than sleep a
+// fixed (and therefore flaky) amount.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestNodeTimersFire(t *testing.T) {
+	tr := NewChanTransport()
+	n, err := NewNode(NodeConfig{ID: 1, TimeScale: 1000}, tr)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+
+	var fired atomic.Int32
+	var order []int
+	// Arm before Start: the clock starts at zero when the loop does.
+	n.After(2*time.Second, func() { order = append(order, 2); fired.Add(1) })
+	n.After(1*time.Second, func() { order = append(order, 1); fired.Add(1) })
+	cancelled := n.After(1500*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	cancelled.Cancel()
+
+	n.Start()
+	// 2 sim-seconds at scale 1000 is 2 ms wall time.
+	waitFor(t, 5*time.Second, func() bool { return fired.Load() == 2 }, "both timers")
+
+	if err := n.Do(func() {
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Errorf("timers fired in order %v, want [1 2]", order)
+		}
+		if now := n.Now(); now < 2*time.Second {
+			t.Errorf("Now() = %v after both timers, want >= 2s", now)
+		}
+		// Timers armed from the loop fire too.
+		n.After(10*time.Millisecond, func() { fired.Add(1) })
+	}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return fired.Load() == 3 }, "loop-armed timer")
+}
+
+func TestNodeDoAfterClose(t *testing.T) {
+	tr := NewChanTransport()
+	n, err := NewNode(NodeConfig{ID: 1}, tr)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	n.Start()
+	if err := n.Do(func() {}); err != nil {
+		t.Fatalf("Do on live node: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := n.Do(func() {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Do after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestNodeDeliveryFiltering(t *testing.T) {
+	tr := NewChanTransport()
+	n, err := NewNode(NodeConfig{ID: 1, TimeScale: 100}, tr)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+
+	type rx struct {
+		from      pkt.NodeID
+		broadcast bool
+	}
+	var got atomic.Pointer[[]rx]
+	got.Store(&[]rx{})
+	n.Bind(func(p *pkt.Packet, from pkt.NodeID, broadcast bool) {
+		next := append(*got.Load(), rx{from, broadcast})
+		got.Store(&next)
+	}, nil)
+	n.Start()
+
+	// A raw peer on the same medium injects frames directly.
+	peer, err := tr.Join(2, func([]byte) {})
+	if err != nil {
+		t.Fatalf("peer Join: %v", err)
+	}
+	data := &pkt.Packet{Kind: pkt.KindData, Src: 2, Dst: pkt.Broadcast, TTL: 4,
+		Body: &pkt.Data{Origin: 2, Seq: 7}}
+	frame := func(from, linkDst pkt.NodeID) []byte {
+		return pkt.EncodeFrame(&pkt.Frame{From: from, LinkDst: linkDst, Packet: data})
+	}
+
+	peer.Send([]byte{0xde, 0xad}, 1)      // malformed: dropped, counted
+	peer.Send(frame(2, 3), 1)             // unicast to node 3: filtered
+	peer.Send(frame(1, pkt.Broadcast), 1) // echo of "our own" frame: dropped
+	peer.Send(frame(2, pkt.Broadcast), 1) // delivered as broadcast
+	peer.Send(frame(2, 1), 1)             // delivered as unicast
+
+	waitFor(t, 5*time.Second, func() bool { return len(*got.Load()) == 2 }, "two deliveries")
+	rxs := *got.Load()
+	if rxs[0].from != 2 || !rxs[0].broadcast {
+		t.Errorf("first delivery = %+v, want broadcast from 2", rxs[0])
+	}
+	if rxs[1].from != 2 || rxs[1].broadcast {
+		t.Errorf("second delivery = %+v, want unicast from 2", rxs[1])
+	}
+	if m := n.Stats().Malformed.Load(); m != 1 {
+		t.Errorf("Malformed = %d, want 1", m)
+	}
+	if f := n.Stats().Filtered.Load(); f != 1 {
+		t.Errorf("Filtered = %d, want 1", f)
+	}
+	if in := n.Stats().FramesIn.Load(); in != 2 {
+		t.Errorf("FramesIn = %d, want 2", in)
+	}
+}
+
+func TestNodeSendEncodesFrames(t *testing.T) {
+	tr := NewChanTransport()
+	n, err := NewNode(NodeConfig{ID: 7}, tr)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+
+	frames := make(chan []byte, 1)
+	if _, err := tr.Join(9, func(f []byte) { frames <- f }); err != nil {
+		t.Fatalf("listener Join: %v", err)
+	}
+
+	p := &pkt.Packet{Kind: pkt.KindData, Src: 7, Dst: pkt.Broadcast, TTL: 8,
+		Body: &pkt.Data{Origin: 7, Seq: 3, PayloadLen: 64}}
+	if !n.Send(p, pkt.Broadcast) {
+		t.Fatal("Send returned false")
+	}
+	select {
+	case raw := <-frames:
+		f, err := pkt.DecodeFrame(raw)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if f.From != 7 || f.LinkDst != pkt.Broadcast {
+			t.Errorf("frame addressing = from %v to %v, want from 7 broadcast", f.From, f.LinkDst)
+		}
+		if d, ok := f.Packet.Body.(*pkt.Data); !ok || d.Seq != 3 {
+			t.Errorf("frame payload = %#v, want Data seq 3", f.Packet.Body)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+	if out := n.Stats().FramesOut.Load(); out != 1 {
+		t.Errorf("FramesOut = %d, want 1", out)
+	}
+}
+
+// TestNodeClockInterface pins that both runtimes expose the same timer
+// semantics: a netrt Node is a runtime.Clock backed by the same pooled
+// sim.Timer values the simulator hands out.
+func TestNodeClockTimerHandles(t *testing.T) {
+	tr := NewChanTransport()
+	n, err := NewNode(NodeConfig{ID: 1, TimeScale: 1000}, tr)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer n.Close()
+
+	var tm sim.Timer
+	if !tm.IsZero() {
+		t.Error("zero Timer should report IsZero")
+	}
+	tm = n.After(time.Second, func() {})
+	if tm.IsZero() {
+		t.Error("armed timer reports IsZero")
+	}
+	tm.Cancel()
+	if !tm.Done() {
+		t.Error("cancelled timer should be Done")
+	}
+}

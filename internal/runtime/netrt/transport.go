@@ -1,0 +1,266 @@
+package netrt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"anongossip/internal/pkt"
+)
+
+// ErrDuplicateID reports a Join (or peer registration) with a node ID
+// the transport already has — the live-transport mirror of the radio
+// medium's Attach contract (radio.ErrDuplicateNode): a misconfigured
+// cluster must fail loudly at join time rather than silently splitting
+// one identity across two processes.
+var ErrDuplicateID = errors.New("netrt: node id already joined")
+
+// ErrClosed reports an operation on a closed transport or node.
+var ErrClosed = errors.New("netrt: closed")
+
+// Transport admits nodes onto a shared link-level medium. Join hands
+// the transport the node's receive sink (called from a transport
+// goroutine with the raw frame bytes; the sink must not block and must
+// not retain or mutate the slice) and returns the node's send side.
+type Transport interface {
+	Join(id pkt.NodeID, recv func(frame []byte)) (Conn, error)
+}
+
+// Conn is one joined node's send side of a transport.
+type Conn interface {
+	// Send transmits one encoded frame to linkDst (pkt.Broadcast for
+	// every peer). Delivery is best-effort, like the radio it stands in
+	// for; an error means the frame certainly did not leave this node.
+	Send(frame []byte, linkDst pkt.NodeID) error
+	// Close detaches the node from the transport.
+	Close() error
+}
+
+// --- in-process channel transport ---
+
+// ChanTransport is a hermetic in-process medium: every joined node
+// hears every broadcast, unicasts go to the addressed node only.
+// It exists so clusters of live nodes can run inside one test process
+// with no sockets, deterministically enough for -race CI jobs.
+type ChanTransport struct {
+	mu    sync.Mutex
+	conns map[pkt.NodeID]*chanConn
+}
+
+// NewChanTransport returns an empty in-process medium.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{conns: make(map[pkt.NodeID]*chanConn)}
+}
+
+// Join implements Transport. Joining an ID that is already on the
+// medium fails with ErrDuplicateID.
+func (t *ChanTransport) Join(id pkt.NodeID, recv func(frame []byte)) (Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.conns[id]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicateID, id)
+	}
+	c := &chanConn{t: t, id: id, recv: recv}
+	t.conns[id] = c
+	return c, nil
+}
+
+type chanConn struct {
+	t    *ChanTransport
+	id   pkt.NodeID
+	recv func(frame []byte)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Send implements Conn. The sender never hears its own broadcasts,
+// matching the radio medium's half-duplex behaviour.
+func (c *chanConn) Send(frame []byte, linkDst pkt.NodeID) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c.t.mu.Lock()
+	var targets []*chanConn
+	if linkDst == pkt.Broadcast {
+		targets = make([]*chanConn, 0, len(c.t.conns)-1)
+		for id, peer := range c.t.conns {
+			if id != c.id {
+				targets = append(targets, peer)
+			}
+		}
+	} else if peer, ok := c.t.conns[linkDst]; ok {
+		targets = []*chanConn{peer}
+	}
+	c.t.mu.Unlock()
+	// Sinks run outside the lock: they only enqueue (never block), but
+	// a sink that re-enters the transport must not deadlock.
+	for _, peer := range targets {
+		peer.recv(frame)
+	}
+	return nil
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.t.mu.Lock()
+	delete(c.t.conns, c.id)
+	c.t.mu.Unlock()
+	return nil
+}
+
+// --- UDP transport ---
+
+// UDPTransport carries frames over a real UDP socket with a static
+// peer table: one socket, one joined node per transport value. A
+// broadcast frame is written once per known peer (UDP has no useful
+// portable broadcast on loopback and testbeds, and the peer table is
+// exactly the neighbour set anyway).
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	peers  map[pkt.NodeID]*net.UDPAddr
+	joined bool
+	self   pkt.NodeID
+	closed bool
+
+	readerDone chan struct{}
+}
+
+// NewUDP binds a UDP socket on listen (e.g. "127.0.0.1:7001", or
+// ":0" for an ephemeral port).
+func NewUDP(listen string) (*UDPTransport, error) {
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netrt: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netrt: listen %q: %w", listen, err)
+	}
+	return &UDPTransport{
+		conn:       conn,
+		peers:      make(map[pkt.NodeID]*net.UDPAddr),
+		readerDone: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound socket address (useful with ":0").
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// AddPeer registers a remote node's address. Registering the same ID
+// twice with a different address fails with ErrDuplicateID — two
+// processes claiming one identity is the same misconfiguration the
+// radio medium rejects at Attach.
+func (t *UDPTransport) AddPeer(id pkt.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("netrt: resolve peer %v at %q: %w", id, addr, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, dup := t.peers[id]; dup && prev.String() != ua.String() {
+		return fmt.Errorf("%w: peer %v at both %v and %v", ErrDuplicateID, id, prev, ua)
+	}
+	if t.joined && id == t.self {
+		return fmt.Errorf("%w: peer %v is this node's own id", ErrDuplicateID, id)
+	}
+	t.peers[id] = ua
+	return nil
+}
+
+// Join implements Transport. The joining ID must not collide with a
+// registered peer, and a UDPTransport carries exactly one node.
+func (t *UDPTransport) Join(id pkt.NodeID, recv func(frame []byte)) (Conn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if t.joined {
+		return nil, fmt.Errorf("%w: transport already carries %v", ErrDuplicateID, t.self)
+	}
+	if _, dup := t.peers[id]; dup {
+		return nil, fmt.Errorf("%w: %v is already a registered peer", ErrDuplicateID, id)
+	}
+	t.joined, t.self = true, id
+	go t.readLoop(recv)
+	return (*udpConn)(t), nil
+}
+
+// readLoop pumps datagrams into the node's sink until the socket
+// closes.
+func (t *UDPTransport) readLoop(recv func(frame []byte)) {
+	defer close(t.readerDone)
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed socket (or fatal error): the node is done
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		recv(frame)
+	}
+}
+
+// udpConn is the send side of a joined UDPTransport.
+type udpConn UDPTransport
+
+// Send implements Conn.
+func (c *udpConn) Send(frame []byte, linkDst pkt.NodeID) error {
+	t := (*UDPTransport)(c)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	var dsts []*net.UDPAddr
+	if linkDst == pkt.Broadcast {
+		dsts = make([]*net.UDPAddr, 0, len(t.peers))
+		for _, a := range t.peers {
+			dsts = append(dsts, a)
+		}
+	} else if a, ok := t.peers[linkDst]; ok {
+		dsts = []*net.UDPAddr{a}
+	} else {
+		t.mu.Unlock()
+		return fmt.Errorf("netrt: no peer %v in the peer table", linkDst)
+	}
+	t.mu.Unlock()
+	var firstErr error
+	for _, a := range dsts {
+		if _, err := t.conn.WriteToUDP(frame, a); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Conn: it closes the socket and waits for the reader
+// to drain.
+func (c *udpConn) Close() error {
+	t := (*UDPTransport)(c)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.readerDone
+	return err
+}

@@ -1,0 +1,159 @@
+package netrt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"anongossip/internal/pkt"
+)
+
+func TestChanTransportDuplicateJoin(t *testing.T) {
+	tr := NewChanTransport()
+	c1, err := tr.Join(1, func([]byte) {})
+	if err != nil {
+		t.Fatalf("first Join: %v", err)
+	}
+	if _, err := tr.Join(1, func([]byte) {}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate Join err = %v, want ErrDuplicateID", err)
+	}
+	// Leaving frees the ID for a rejoin (a restarted node).
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := tr.Join(1, func([]byte) {}); err != nil {
+		t.Fatalf("rejoin after Close: %v", err)
+	}
+}
+
+func TestChanTransportAddressing(t *testing.T) {
+	tr := NewChanTransport()
+	got := make(map[pkt.NodeID][][]byte)
+	var conns [4]Conn
+	for id := pkt.NodeID(1); id <= 3; id++ {
+		id := id
+		c, err := tr.Join(id, func(frame []byte) { got[id] = append(got[id], frame) })
+		if err != nil {
+			t.Fatalf("Join %v: %v", id, err)
+		}
+		conns[id] = c
+	}
+
+	if err := conns[1].Send([]byte("bcast"), pkt.Broadcast); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if err := conns[1].Send([]byte("uni"), 3); err != nil {
+		t.Fatalf("unicast: %v", err)
+	}
+
+	if n := len(got[1]); n != 0 {
+		t.Errorf("sender heard %d of its own frames", n)
+	}
+	if n := len(got[2]); n != 1 {
+		t.Errorf("node 2 got %d frames, want 1 (broadcast only)", n)
+	}
+	if n := len(got[3]); n != 2 {
+		t.Errorf("node 3 got %d frames, want 2 (broadcast + unicast)", n)
+	}
+
+	if err := conns[2].Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := conns[2].Send([]byte("late"), pkt.Broadcast); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send on closed conn err = %v, want ErrClosed", err)
+	}
+}
+
+func TestUDPTransportDuplicateChecks(t *testing.T) {
+	tr, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	if err := tr.AddPeer(2, "127.0.0.1:9001"); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	// Same ID, same address: idempotent.
+	if err := tr.AddPeer(2, "127.0.0.1:9001"); err != nil {
+		t.Errorf("re-AddPeer same addr: %v", err)
+	}
+	// Same ID, different address: rejected.
+	if err := tr.AddPeer(2, "127.0.0.1:9002"); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("AddPeer conflicting addr err = %v, want ErrDuplicateID", err)
+	}
+	// Joining an ID that is already a peer: rejected.
+	if _, err := tr.Join(2, func([]byte) {}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("Join as registered peer err = %v, want ErrDuplicateID", err)
+	}
+	conn, err := tr.Join(1, func([]byte) {})
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	// One node per transport.
+	if _, err := tr.Join(3, func([]byte) {}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("second Join err = %v, want ErrDuplicateID", err)
+	}
+	// Registering the node's own ID as a peer: rejected.
+	if err := tr.AddPeer(1, "127.0.0.1:9003"); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("AddPeer own id err = %v, want ErrDuplicateID", err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestUDPTransportRoundTrip(t *testing.T) {
+	ta, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewUDP a: %v", err)
+	}
+	tb, err := NewUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewUDP b: %v", err)
+	}
+	if err := ta.AddPeer(2, tb.Addr()); err != nil {
+		t.Fatalf("a.AddPeer: %v", err)
+	}
+	if err := tb.AddPeer(1, ta.Addr()); err != nil {
+		t.Fatalf("b.AddPeer: %v", err)
+	}
+
+	gotA, gotB := make(chan []byte, 8), make(chan []byte, 8)
+	ca, err := ta.Join(1, func(f []byte) { gotA <- f })
+	if err != nil {
+		t.Fatalf("a.Join: %v", err)
+	}
+	cb, err := tb.Join(2, func(f []byte) { gotB <- f })
+	if err != nil {
+		t.Fatalf("b.Join: %v", err)
+	}
+	defer ca.Close()
+	defer cb.Close()
+
+	if err := ca.Send([]byte("ping"), pkt.Broadcast); err != nil {
+		t.Fatalf("a broadcast: %v", err)
+	}
+	select {
+	case f := <-gotB:
+		if string(f) != "ping" {
+			t.Fatalf("b received %q, want %q", f, "ping")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("b never received the broadcast")
+	}
+	if err := cb.Send([]byte("pong"), 1); err != nil {
+		t.Fatalf("b unicast: %v", err)
+	}
+	select {
+	case f := <-gotA:
+		if string(f) != "pong" {
+			t.Fatalf("a received %q, want %q", f, "pong")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("a never received the unicast")
+	}
+
+	// Unicast to an unknown peer fails loudly.
+	if err := ca.Send([]byte("x"), 42); err == nil {
+		t.Error("Send to unknown peer succeeded, want error")
+	}
+}

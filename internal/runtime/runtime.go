@@ -1,0 +1,82 @@
+// Package runtime defines the boundary between the protocol engines and
+// whatever executes them. Everything an engine historically took from
+// the simulation kernel — a monotonic clock, timer arm/cancel with the
+// kernel's pooled value handles, one-hop packet transmission, and the
+// node's own identity — is captured by the Runtime interface, with two
+// implementations:
+//
+//   - runtime/simrt adapts the discrete-event kernel (sim.Scheduler,
+//     radio.Medium, the 802.11 MAC). It is the path every scenario and
+//     golden digest runs through, bit-identical to the pre-refactor
+//     wiring.
+//   - runtime/netrt runs a node in real time: wall-clock timers over the
+//     same pooled timer wheel, and frames over a live transport (UDP
+//     sockets, or an in-process channel hub for hermetic tests).
+//
+// The engines themselves (aodv, maodv, odmrp, flood, gossip) depend
+// only on this package's Clock plus the node.Stack network layer, so
+// one protocol codebase is both simulatable and deployable — the
+// "reproduction to system" step of the ROADMAP.
+package runtime
+
+import (
+	"anongossip/internal/pkt"
+	"anongossip/internal/sim"
+)
+
+// Clock is the time and timer surface the protocol engines program
+// against. Timestamps are sim.Time: nanoseconds since the start of the
+// run under both runtimes (the simulator's virtual clock, or scaled
+// wall time since boot under netrt). Timers are the kernel's pooled
+// value handles — Cancel/Done/Fired work identically everywhere.
+//
+// *sim.Scheduler satisfies Clock natively; the real-time runtime
+// embeds one as its timer wheel and advances it to the wall clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() sim.Time
+	// After schedules fn to run d after the current time. A negative d
+	// fires at the current time; callbacks run on the node's event
+	// loop, never concurrently with other callbacks of the same node.
+	After(d sim.Time, fn func()) sim.Timer
+	// At schedules fn at an absolute time; times in the past are
+	// clamped to the present.
+	At(t sim.Time, fn func()) sim.Timer
+}
+
+// *sim.Scheduler is the canonical Clock; both runtimes route timers
+// through one.
+var _ Clock = (*sim.Scheduler)(nil)
+
+// ReceiveFunc handles a packet arriving over the link layer. from is
+// the link-level transmitter (the previous hop); broadcast reports
+// whether the frame was link-addressed to everyone rather than to this
+// node specifically.
+type ReceiveFunc func(p *pkt.Packet, from pkt.NodeID, broadcast bool)
+
+// SendDoneFunc reports the fate of an accepted link transmission. ok is
+// false when the link gave up on the frame (MAC retry exhaustion); the
+// routing protocols turn that into link-failure handling. Runtimes
+// without delivery feedback (plain UDP) simply never report failures.
+type SendDoneFunc func(p *pkt.Packet, to pkt.NodeID, ok bool)
+
+// Runtime is everything one node's network layer takes from the
+// machinery beneath it. Implementations are single-node: each simulated
+// or live node owns one Runtime value.
+type Runtime interface {
+	Clock
+
+	// ID returns this node's address.
+	ID() pkt.NodeID
+
+	// Send hands one packet to the link for transmission to linkDst
+	// (pkt.Broadcast for one-hop broadcast). It reports whether the
+	// link accepted the frame — a full MAC queue or a closed transport
+	// refuses, and the caller accounts the reject.
+	Send(p *pkt.Packet, linkDst pkt.NodeID) bool
+
+	// Bind installs the network layer's receive and send-completion
+	// handlers. It must be called exactly once, before any traffic
+	// flows; the constructor of node.Stack does it.
+	Bind(onReceive ReceiveFunc, onSendDone SendDoneFunc)
+}

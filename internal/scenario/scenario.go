@@ -25,6 +25,7 @@ import (
 	"anongossip/internal/odmrp"
 	"anongossip/internal/pkt"
 	"anongossip/internal/radio"
+	"anongossip/internal/runtime/simrt"
 	"anongossip/internal/sim"
 	"anongossip/internal/stack"
 	"anongossip/internal/stats"
@@ -411,6 +412,10 @@ type world struct {
 	coord  *sim.Sharded
 	medium *radio.Medium
 
+	// rts are the per-node simulation runtimes (the runtime/simrt side
+	// of the engine/kernel boundary); stacks are the network layers
+	// assembled over them.
+	rts      []*simrt.Runtime
 	stacks   []*node.Stack
 	routing  []stack.RoutingNode
 	recovery []stack.RecoveryNode // nil entries when the spec has no recovery layer
@@ -485,14 +490,16 @@ func build(cfg Config) (*world, error) {
 			// lane for load balance.
 			nodeSched = w.coord.Shard(stripeShard(mob.Position(0).X, cfg.Area.W, w.coord.NumShards()))
 		}
-		st, err := node.New(nodeSched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
+		rt, err := simrt.New(nodeSched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
-		st.MAC().SetHorizon(cfg.Duration)
+		rt.MAC().SetHorizon(cfg.Duration)
+		st := node.NewOnRuntime(rt)
 		if w.tracer != nil {
 			st.SetTracer(w.tracer.Record)
 		}
+		w.rts = append(w.rts, rt)
 		w.stacks = append(w.stacks, st)
 
 		env := stack.Env{Stack: st, RNG: root, Index: i, Params: params}
@@ -628,8 +635,8 @@ func (w *world) collect() *Result {
 	// golden digests pinned on it — identical across reception models,
 	// indexes, queues and schedulers.
 	events := processed + w.medium.ElidedEvents()
-	for _, st := range w.stacks {
-		events += st.MAC().Stats().ElidedEvents
+	for _, rt := range w.rts {
+		events += rt.MAC().Stats().ElidedEvents
 	}
 	res := &Result{
 		Stack:      w.spec,

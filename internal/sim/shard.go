@@ -68,9 +68,27 @@ func (k SchedulerKind) String() string {
 	}
 }
 
-// SchedulerNames lists the registered scheduler kinds for CLI help and
-// validation errors.
-func SchedulerNames() string { return "serial, sharded" }
+// SchedulerNames lists the registered scheduler kinds as
+// ParseSchedulerKind spells them, for CLI help and validation errors
+// (the same convention as QueueNames).
+func SchedulerNames() string {
+	return SchedulerSerial.String() + ", " + SchedulerSharded.String()
+}
+
+// ParseSchedulerKind resolves a -scheduler flag value to a
+// SchedulerKind. The error enumerates the registered kinds, so a typo
+// on the command line is self-correcting rather than a trip to the
+// source (the same convention as ParseQueueKind).
+func ParseSchedulerKind(name string) (SchedulerKind, error) {
+	switch name {
+	case "serial":
+		return SchedulerSerial, nil
+	case "sharded":
+		return SchedulerSharded, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler kind %q (registered kinds: %s)", name, SchedulerNames())
+	}
+}
 
 const (
 	laneGlobal = -1

@@ -209,6 +209,18 @@ func (s *Scheduler) Processed() uint64 { return s.processed }
 // scheduled.
 func (s *Scheduler) Pending() int { return s.q.len() - s.cancelled }
 
+// NextAt reports the timestamp of the earliest queued entry and whether
+// one exists. The entry may be a cancelled timer still riding in the
+// queue, so the reported time is a lower bound on the next event that
+// will actually fire — callers that sleep until it (the real-time
+// runtime does) simply wake, pop the tombstone, and sleep again.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if s.q.len() == 0 {
+		return 0, false
+	}
+	return s.q.peek().at, true
+}
+
 // noteCancelled records one cancelled-but-queued timer and compacts the
 // queue when cancelled entries outnumber live ones. The 64-entry floor
 // keeps tiny queues from compacting constantly; the one-half ratio
