@@ -16,11 +16,16 @@
 // cost.
 //
 // Beyond the paper, -fig large sweeps the large-scale family (100 to
-// 1000 nodes at constant density; see EXPERIMENTS.md §L) and -fig dense
+// 1000 nodes at constant density; see EXPERIMENTS.md §L), -fig dense
 // the dense-traffic family (mean degree 20–60 with multiple concurrent
-// senders at -dense-nodes nodes; EXPERIMENTS.md §D). At full duration
-// the 1000-node points take tens of minutes — shrink with -duration and
-// cap the sweeps with -large-max / -dense-max for previews.
+// senders at -dense-nodes nodes; EXPERIMENTS.md §D), and -fig huge the
+// huge-scale family (10k to 100k nodes at constant density;
+// EXPERIMENTS.md §H) — a perf-and-memory sweep that runs a short
+// -huge-duration data window and records peak_heap_bytes /
+// heap_bytes_per_node in the -json record. At full duration the
+// 1000-node points take tens of minutes — shrink with -duration and
+// cap the sweeps with -large-max / -dense-max / -huge-max for
+// previews.
 //
 // Four flags switch simulator internals on bit-identical workloads —
 // only wall time changes: -index (radio neighbour index: spatial grid
@@ -109,6 +114,11 @@ type jsonPoint struct {
 	Events       uint64  `json:"events"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakHeapBytes and HeapBytesPerNode carry the post-run live-heap
+	// sample of heap-measured sweeps (the huge family, whose x axis is
+	// the node count); zero elsewhere.
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes,omitempty"`
+	HeapBytesPerNode float64 `json:"heap_bytes_per_node,omitempty"`
 }
 
 // jsonFigure is one completed sweep.
@@ -151,6 +161,13 @@ type jsonReport struct {
 	// regression gate (cmd/benchgate) tracks alongside events/sec.
 	TotalEvents     uint64  `json:"total_events"`
 	MallocsPerEvent float64 `json:"mallocs_per_event"`
+	// PeakHeapBytes is the largest post-run live heap across the
+	// record's heap-measured runs, and HeapBytesPerNode the largest
+	// per-node footprint (live heap over node count at that point) —
+	// the numbers cmd/benchgate's memory gate tracks. Zero unless a
+	// heap-measured family (huge) ran.
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes,omitempty"`
+	HeapBytesPerNode float64 `json:"heap_bytes_per_node,omitempty"`
 }
 
 // addFigure converts a sweep's rows into the report's point records.
@@ -173,6 +190,18 @@ func (r *jsonReport) addFigure(id, title, xName string, rows []scenario.Comparis
 		if secs > 0 {
 			p.EventsPerSec = float64(events) / secs
 		}
+		if hb := max(row.Gossip.HeapLiveBytes, row.Maodv.HeapLiveBytes); hb > 0 {
+			p.PeakHeapBytes = hb
+			if row.X > 0 {
+				p.HeapBytesPerNode = float64(hb) / row.X
+			}
+			if hb > r.PeakHeapBytes {
+				r.PeakHeapBytes = hb
+			}
+			if p.HeapBytesPerNode > r.HeapBytesPerNode {
+				r.HeapBytesPerNode = p.HeapBytesPerNode
+			}
+		}
 		fig.Points = append(fig.Points, p)
 	}
 	r.Figures = append(r.Figures, fig)
@@ -194,6 +223,9 @@ func run(args []string) error {
 		schedStr   = fs.String("scheduler", "serial", "simulation kernel: "+sim.SchedulerNames())
 		workers    = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
 		largeMax   = fs.Int("large-max", 1000, "largest node count of the -fig large sweep")
+		hugeMax    = fs.Int("huge-max", 100000, "largest node count of the -fig huge sweep")
+		hugeMin    = fs.Int("huge-min", 0, "smallest node count of the -fig huge sweep (profiling workflows isolate the 100k point with -huge-min 100000)")
+		hugeDur    = fs.Duration("huge-duration", 10*time.Second, "simulated time per -fig huge run (the family measures perf and memory, not delivery, so short data windows are expected)")
 		denseNodes = fs.Int("dense-nodes", scenario.DenseNodes, "node count of the -fig dense sweep")
 		denseMax   = fs.Int("dense-max", 60, "largest target degree of the -fig dense sweep")
 		jsonPath   = fs.String("json", "", "write a machine-readable result record to this file")
@@ -280,7 +312,7 @@ func run(args []string) error {
 	}
 
 	want := map[int]bool{}
-	wantLarge, wantDense := false, false
+	wantLarge, wantDense, wantHuge := false, false, false
 	switch *fig {
 	case "all":
 		for i := 2; i <= 8; i++ {
@@ -290,10 +322,12 @@ func run(args []string) error {
 		wantLarge = true
 	case "dense":
 		wantDense = true
+	case "huge":
+		wantHuge = true
 	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || n < 2 || n > 8 {
-			return fmt.Errorf("invalid -fig %q (want 2..8, large, dense, or all)", *fig)
+			return fmt.Errorf("invalid -fig %q (want 2..8, large, dense, huge, or all)", *fig)
 		}
 		want[n] = true
 	}
@@ -380,6 +414,39 @@ func run(args []string) error {
 			"Large scale: Packet Delivery vs Number of Nodes (constant density, 75 m range)",
 			"nodes", "%-10.0f", "per run, "+internals, xs, base, scenario.ApplyLargeScale); err != nil {
 			return err
+		}
+	}
+
+	if wantHuge {
+		var xs []float64
+		for _, x := range scenario.HugeScaleXs() {
+			if int(x) <= *hugeMax && int(x) >= *hugeMin {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return fmt.Errorf("-huge-min %d / -huge-max %d exclude every sweep point", *hugeMin, *hugeMax)
+		}
+		// The huge family runs its own short data window (heap and
+		// events/sec are its results, not delivery) and reports that
+		// duration so gate comparisons stay like for like.
+		hbase := scenario.ShortenedData(base, *hugeDur)
+		report.Duration = hbase.Duration.String()
+		title := fmt.Sprintf("Huge scale: perf and memory vs Number of Nodes (constant density, 75 m range, %v window)", *hugeDur)
+		if err := runSweep("huge", title, "nodes", "%-10.0f",
+			"per run, "+internals, xs, hbase, scenario.ApplyHugeScale); err != nil {
+			return err
+		}
+		for _, f := range report.Figures {
+			if f.Figure != "huge" {
+				continue
+			}
+			fmt.Println("huge-scale memory:")
+			for _, p := range f.Points {
+				fmt.Printf("%8.0f nodes  %12d peak heap bytes  %8.0f bytes/node  %10.0f events/sec\n",
+					p.X, p.PeakHeapBytes, p.HeapBytesPerNode, p.EventsPerSec)
+			}
+			fmt.Println()
 		}
 	}
 

@@ -63,6 +63,10 @@ type daemonConfig struct {
 	Group     pkt.GroupID
 	Seed      int64
 	TimeScale float64
+	// InboxSize bounds the frame queue between the transport and the
+	// event loop (0 = netrt.DefaultInboxSize); /stats reports the
+	// effective capacity alongside the drop counter.
+	InboxSize int
 }
 
 // delivery is one application-level data arrival, as reported on
@@ -94,7 +98,7 @@ func newDaemon(cfg daemonConfig, tr netrt.Transport) (*daemon, error) {
 		cfg.Group = defaultGroup
 	}
 	pn, err := netrt.NewProtocolNode(netrt.ProtocolConfig{
-		Node:  netrt.NodeConfig{ID: cfg.ID, TimeScale: cfg.TimeScale},
+		Node:  netrt.NodeConfig{ID: cfg.ID, TimeScale: cfg.TimeScale, InboxSize: cfg.InboxSize},
 		Stack: cfg.Stack,
 		Seed:  cfg.Seed,
 	}, tr)
@@ -167,6 +171,9 @@ type linkStats struct {
 	Filtered   uint64 `json:"filtered"`
 	SendErrors uint64 `json:"send_errors"`
 	InboxDrops uint64 `json:"inbox_drops"`
+	// InboxCapacity is the configured frame-queue bound the drops are
+	// measured against (-inbox flag; netrt.DefaultInboxSize when unset).
+	InboxCapacity int `json:"inbox_capacity"`
 }
 
 // report gathers the full stats document.
@@ -196,14 +203,15 @@ func (d *daemon) report() (*statsReport, error) {
 		Node:      ns,
 		Recovery:  rs,
 		Link: linkStats{
-			FramesIn:   ls.FramesIn.Load(),
-			FramesOut:  ls.FramesOut.Load(),
-			BytesIn:    ls.BytesIn.Load(),
-			BytesOut:   ls.BytesOut.Load(),
-			Malformed:  ls.Malformed.Load(),
-			Filtered:   ls.Filtered.Load(),
-			SendErrors: ls.SendErrors.Load(),
-			InboxDrops: ls.InboxDrops.Load(),
+			FramesIn:      ls.FramesIn.Load(),
+			FramesOut:     ls.FramesOut.Load(),
+			BytesIn:       ls.BytesIn.Load(),
+			BytesOut:      ls.BytesOut.Load(),
+			Malformed:     ls.Malformed.Load(),
+			Filtered:      ls.Filtered.Load(),
+			SendErrors:    ls.SendErrors.Load(),
+			InboxDrops:    ls.InboxDrops.Load(),
+			InboxCapacity: d.pn.Runtime().InboxCap(),
 		},
 	}, nil
 }
@@ -285,6 +293,7 @@ func run(args []string) error {
 		api       = fs.String("api", "127.0.0.1:0", "HTTP address for the client API (publish/subscribe/stats)")
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "rng seed for protocol choices")
 		timeScale = fs.Float64("timescale", 1, "protocol seconds per wall second (>1 compresses timers; tests only)")
+		inbox     = fs.Int("inbox", 0, "frame-queue capacity between socket and event loop (0 = netrt default); overruns drop frames, counted in /stats inbox_drops")
 	)
 	var peers []peerFlag
 	fs.Func("peer", "peer as id=host:port (repeatable)", func(v string) error {
@@ -321,6 +330,7 @@ func run(args []string) error {
 		Group:     pkt.GroupID(*group),
 		Seed:      *seed,
 		TimeScale: *timeScale,
+		InboxSize: *inbox,
 	}, tr)
 	if err != nil {
 		return fmt.Errorf("agnode: %w", err)

@@ -77,6 +77,11 @@ type smokeRecord struct {
 	Figures         json.RawMessage `json:"figures"`
 	TotalEvents     uint64          `json:"total_events"`
 	MallocsPerEvent float64         `json:"mallocs_per_event"`
+	// PeakHeapBytes / HeapBytesPerNode are present on heap-measured
+	// records (agbench -fig huge); the gate's memory ceilings compare
+	// them like for like.
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	HeapBytesPerNode float64 `json:"heap_bytes_per_node"`
 
 	// Derived from Figures at load time.
 	figureIDs    []string
@@ -127,6 +132,7 @@ func run(args []string) error {
 		candidate    = fs.String("candidate", "", "fresh agbench -json record to check")
 		minSpeed     = fs.Float64("min-speed-ratio", 0.5, "fail if candidate events/sec falls below this fraction of baseline")
 		maxAllocs    = fs.Float64("max-allocs-ratio", 1.5, "fail if candidate mallocs/event exceeds this multiple of baseline")
+		maxHeap      = fs.Float64("max-heap-ratio", 1.3, "fail if candidate heap bytes/node exceeds this multiple of baseline (heap-measured records only)")
 		record       = fs.String("record", "", "write a new baseline to this file instead of gating")
 		smokePath    = fs.String("smoke", "", "comma-separated agbench -json records to embed in the -record baseline (one per queue kind)")
 		matrixNodes  = fs.String("matrix-nodes", "1000,10000", "comma-separated node counts for the -record scheduler matrix")
@@ -146,7 +152,7 @@ func run(args []string) error {
 	if *baselinePath == "" || *candidate == "" {
 		return fmt.Errorf("need -baseline and -candidate (or -record); see -help")
 	}
-	return runGate(*baselinePath, *candidate, *minSpeed, *maxAllocs)
+	return runGate(*baselinePath, *candidate, *minSpeed, *maxAllocs, *maxHeap)
 }
 
 func parseInts(csv string) ([]int, error) {
@@ -361,10 +367,11 @@ func runRecord(outPath, smokePaths, matrixNodes, queueList, workerList string, d
 // --- gate mode ---
 
 // loadSmoke parses one agbench -json record. When embedded is true the
-// path names a committed baseline, and wantQueue selects the embedded
-// smoke record recorded under that event-queue kind — quad candidates
-// gate against the quad baseline, cal against cal, never across.
-func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, error) {
+// path names a committed baseline, and wantQueue/wantFigs select the
+// embedded smoke record recorded under that event-queue kind and
+// figure set — quad candidates gate against the quad baseline, cal
+// against cal, dense against dense, huge against huge, never across.
+func loadSmoke(path string, embedded bool, wantQueue, wantFigs string) (*smokeRecord, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -388,15 +395,19 @@ func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, erro
 			if err := json.Unmarshal(raw, &probe); err != nil {
 				return nil, fmt.Errorf("%s: embedded smoke record does not parse: %w", path, err)
 			}
-			have = append(have, probe.Queue)
-			if probe.Queue == wantQueue {
+			if err := parseFigures(&probe, path); err != nil {
+				return nil, err
+			}
+			figs := strings.Join(probe.figureIDs, "+")
+			have = append(have, probe.Queue+"/"+figs)
+			if probe.Queue == wantQueue && figs == wantFigs {
 				data = raw
 				break
 			}
 		}
 		if data == nil {
-			return nil, fmt.Errorf("%s has no smoke record for queue %q (recorded: %s) — not comparable across queue kinds",
-				path, wantQueue, strings.Join(have, ", "))
+			return nil, fmt.Errorf("%s has no smoke record for queue %q figures %q (recorded: %s) — not comparable across queue kinds or figure sets",
+				path, wantQueue, wantFigs, strings.Join(have, ", "))
 		}
 	}
 	var rec smokeRecord
@@ -410,7 +421,21 @@ func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, erro
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 	}
-	// Pull the per-figure perf numbers out of the raw figure list.
+	if err := parseFigures(&rec, path); err != nil {
+		return nil, err
+	}
+	if rec.wallSeconds > 0 {
+		rec.eventsPerSec = float64(rec.events) / rec.wallSeconds
+	}
+	return &rec, nil
+}
+
+// parseFigures pulls the per-figure ids and perf numbers out of a
+// record's raw figure list into the derived fields.
+func parseFigures(rec *smokeRecord, path string) error {
+	if rec.figureIDs != nil {
+		return nil
+	}
 	var figs []struct {
 		Figure string `json:"figure"`
 		Points []struct {
@@ -420,7 +445,7 @@ func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, erro
 	}
 	if len(rec.Figures) > 0 {
 		if err := json.Unmarshal(rec.Figures, &figs); err != nil {
-			return nil, fmt.Errorf("%s: figures do not parse: %w", path, err)
+			return fmt.Errorf("%s: figures do not parse: %w", path, err)
 		}
 	}
 	for _, f := range figs {
@@ -430,18 +455,15 @@ func loadSmoke(path string, embedded bool, wantQueue string) (*smokeRecord, erro
 			rec.wallSeconds += p.WallSeconds
 		}
 	}
-	if rec.wallSeconds > 0 {
-		rec.eventsPerSec = float64(rec.events) / rec.wallSeconds
-	}
-	return &rec, nil
+	return nil
 }
 
-func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs float64) error {
-	cand, err := loadSmoke(candidatePath, false, "")
+func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs, maxHeap float64) error {
+	cand, err := loadSmoke(candidatePath, false, "", "")
 	if err != nil {
 		return err
 	}
-	base, err := loadSmoke(baselinePath, true, cand.Queue)
+	base, err := loadSmoke(baselinePath, true, cand.Queue, strings.Join(cand.figureIDs, "+"))
 	if err != nil {
 		return err
 	}
@@ -487,6 +509,19 @@ func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs float64) er
 			fmt.Printf("FAIL: allocation-rate regression above the %.2fx ceiling\n", maxAllocs)
 			failed = true
 		}
+	}
+	// Memory ceiling: only when both records carry heap measurements
+	// (the huge family); a baseline without them gates throughput only.
+	if base.HeapBytesPerNode > 0 && cand.HeapBytesPerNode > 0 {
+		heapRatio := cand.HeapBytesPerNode / base.HeapBytesPerNode
+		fmt.Printf("heap bytes/node: baseline %.0f, candidate %.0f (%.2fx, ceiling %.2fx)\n",
+			base.HeapBytesPerNode, cand.HeapBytesPerNode, heapRatio, maxHeap)
+		if heapRatio > maxHeap {
+			fmt.Printf("FAIL: per-node memory regression above the %.2fx ceiling\n", maxHeap)
+			failed = true
+		}
+	} else if base.HeapBytesPerNode > 0 {
+		fmt.Println("note: baseline carries heap measurements but candidate does not; memory ceiling skipped")
 	}
 	if failed {
 		return fmt.Errorf("bench regression gate failed against %s", baselinePath)

@@ -59,6 +59,12 @@ type Config struct {
 	// RTSBytes and CTSBytes size the control frames.
 	RTSBytes int
 	CTSBytes int
+	// DisableFold turns off the folded contention countdown (one timer
+	// postponed in place on channel-state notifications instead of a
+	// wake per busy period; DESIGN.md §10). The fold is bit-identical
+	// to the eager cycle — the flag exists so differential tests can
+	// run the reference schedule against it.
+	DisableFold bool
 }
 
 // RTSThresholdOff disables RTS/CTS (the 802.11 "dot11RTSThreshold off"
@@ -256,6 +262,18 @@ type DCF struct {
 	// navUntil is the virtual carrier-sense deadline learned from
 	// overheard RTS/CTS duration fields.
 	navUntil sim.Time
+	// Folded contention countdown (DESIGN.md §10). folding is set when
+	// the fold is enabled and the transceiver can bound neighbourhood
+	// motion; foldOK says the closure proofs covering the pending step
+	// still hold; foldVK is the largest proven busy-until learned since
+	// the step was armed; foldBase anchors the prediction window —
+	// every folded decision must stay within
+	// radio.CarrierPredictWindow of the probe that established the
+	// closure.
+	folding  bool
+	foldOK   bool
+	foldVK   sim.Time
+	foldBase sim.Time
 	// lastSeq filters duplicate unicast frames per sender.
 	lastSeq map[pkt.NodeID]uint16
 
@@ -289,6 +307,13 @@ func New(sched *sim.Scheduler, rng *sim.RNG, medium *radio.Medium, id pkt.NodeID
 		return nil, err
 	}
 	d.tr = tr
+	if !cfg.DisableFold && tr.CarrierPredictable() {
+		// Fold the contention countdown: the radio notifies carrier
+		// onsets instead of the MAC polling with a wake per busy
+		// period.
+		tr.SetCarrierListener(d)
+		d.folding = true
+	}
 	return d, nil
 }
 
@@ -313,6 +338,7 @@ func (d *DCF) elideStep() {
 		d.stats.ElidedEvents++
 	}
 	d.step = sim.Timer{}
+	d.foldOK = false
 }
 
 // Stats returns a copy of the MAC counters.
@@ -337,13 +363,21 @@ func (d *DCF) ctlAirtime(bytes int) sim.Time {
 	return d.cfg.PhyOverhead + time.Duration(bits/d.cfg.BitRate*float64(time.Second))
 }
 
-// effectiveBusyUntil combines physical and virtual (NAV) carrier sense.
-func (d *DCF) effectiveBusyUntil() sim.Time {
-	busy := d.tr.CarrierBusyUntil()
-	if d.navUntil > busy {
-		return d.navUntil
+// senseProbe reads the channel exactly — physical and virtual (NAV)
+// carrier sense combined — and, when folding, the conservative reach
+// bound that seeds the countdown's closure proof (radio.CarrierProbe:
+// the latest end time any transmission currently on the air could
+// still occupy this node's channel with, motion included).
+func (d *DCF) senseProbe() (busy, reach sim.Time) {
+	if d.folding {
+		busy, reach = d.tr.CarrierProbe()
+	} else {
+		busy = d.tr.CarrierBusyUntil()
 	}
-	return busy
+	if d.navUntil > busy {
+		busy = d.navUntil
+	}
+	return busy, reach
 }
 
 // ackTimeout is the wait after a unicast transmission before declaring the
@@ -389,12 +423,34 @@ func (d *DCF) startHead() {
 // off and transmits.
 func (d *DCF) defer_() {
 	out := d.inflight
-	busyUntil := d.effectiveBusyUntil()
-	now := d.sched.Now()
-	if busyUntil > now {
-		d.stepKind, d.stepOut = stepDeferWake, out
-		d.step = d.sched.At(busyUntil, d.stepFn)
+	busy, reach := d.senseProbe()
+	if busy > d.sched.Now() {
+		d.armWake(out, busy, reach)
 		return
+	}
+	d.armBackoff(out, reach, true)
+}
+
+// armWake arms the defer wake at the sensed busy-until instant and
+// establishes the fold closure: the probe just taken anchors the
+// prediction window, and the wake may skip re-sensing if every proof
+// holds until it fires.
+func (d *DCF) armWake(out *outgoing, target, reach sim.Time) {
+	d.stepKind, d.stepOut = stepDeferWake, out
+	d.step = d.sched.At(target, d.stepFn)
+	d.foldBase = d.sched.Now()
+	d.foldVK = 0
+	d.foldOK = d.folding && reach <= target && target <= d.foldBase+radio.CarrierPredictWindow
+}
+
+// armBackoff draws the contention slots and arms the expiry. probed
+// says the caller just probed the channel (reach is its closure
+// bound); a proven-idle wake skips the probe and extends the closure
+// it fired under, still anchored at the original probe's window.
+func (d *DCF) armBackoff(out *outgoing, reach sim.Time, probed bool) {
+	now := d.sched.Now()
+	if probed {
+		d.foldBase = now
 	}
 	slots := d.rng.Intn(out.cw + 1)
 	wait := d.cfg.DIFS + time.Duration(slots)*d.cfg.SlotTime
@@ -402,6 +458,24 @@ func (d *DCF) defer_() {
 	// is what makes Config.MinTxDelay a sound lookahead bound.
 	d.stepKind, d.stepOut = stepBackoff, out
 	d.step = d.sched.AfterEmit(wait, d.stepFn)
+	exp := now + wait
+	d.foldVK = 0
+	d.foldOK = d.folding && (probed || d.foldOK) && reach <= exp &&
+		exp <= d.foldBase+radio.CarrierPredictWindow
+}
+
+// foldIdle reports whether the folded countdown proves the channel
+// (and NAV) idle at the firing instant, making the exact carrier read
+// redundant: any invalidation since the arm cleared foldOK, every
+// proven busy interval has ended (a later one would have postponed
+// this firing past itself), and anything unproven never existed
+// within reach.
+func (d *DCF) foldIdle() bool {
+	if !d.foldOK {
+		return false
+	}
+	now := d.sched.Now()
+	return d.foldVK <= now && d.navUntil <= now
 }
 
 // onStep is the single contention-step callback; (stepKind, stepOut)
@@ -410,17 +484,29 @@ func (d *DCF) onStep() {
 	out := d.stepOut
 	switch d.stepKind {
 	case stepDeferWake:
-		if d.inflight == out {
-			d.defer_()
+		if d.inflight != out {
+			return
 		}
+		if d.foldIdle() {
+			// Every proof held from arm to expiry: the exact read is
+			// elided and the countdown proceeds straight to backoff.
+			d.armBackoff(out, 0, false)
+			return
+		}
+		d.defer_()
 	case stepBackoff:
 		if d.inflight != out {
 			return
 		}
+		if d.foldIdle() {
+			d.transmit()
+			return
+		}
 		// The channel may have become busy during the backoff; if so,
 		// start over (simplification of 802.11's counter freezing).
-		if d.effectiveBusyUntil() > d.sched.Now() {
-			d.defer_()
+		busy, reach := d.senseProbe()
+		if busy > d.sched.Now() {
+			d.armWake(out, busy, reach)
 			return
 		}
 		d.transmit()
@@ -429,6 +515,56 @@ func (d *DCF) onStep() {
 			d.transmitData(out)
 		}
 	}
+}
+
+// CarrierOnset implements radio.CarrierListener: the radio reports
+// every transmission start that could occupy this node's channel
+// within the prediction window. Proven in-range onsets advance the
+// folded countdown's busy horizon and postpone the pending step in
+// place; unproven (band) onsets invalidate the fold, so the step
+// falls back to an exact carrier read — after restoring its original
+// deadline, which is where the eager cycle would have re-sensed.
+func (d *DCF) CarrierOnset(end sim.Time, proven bool) {
+	if d.step.IsZero() || d.step.Done() || d.stepKind == stepCtsData {
+		return
+	}
+	if !proven {
+		if d.foldOK {
+			d.foldOK = false
+			d.step.Unpostpone()
+		}
+		return
+	}
+	if end > d.foldVK {
+		d.foldVK = end
+		d.maybePostpone()
+	}
+}
+
+// maybePostpone slides the pending step to the folded busy horizon
+// when the proofs allow it, flipping a backoff expiry into a defer
+// wake exactly as the eager cycle's busy re-sense would have. A
+// horizon beyond the prediction window cannot be proven; the fold is
+// abandoned and the step restored to fire (and re-sense) at its
+// original deadline.
+func (d *DCF) maybePostpone() {
+	if !d.foldOK {
+		return
+	}
+	v := d.foldVK
+	if d.navUntil > v {
+		v = d.navUntil
+	}
+	if v <= d.step.At() {
+		return
+	}
+	if v > d.foldBase+radio.CarrierPredictWindow {
+		d.foldOK = false
+		d.step.Unpostpone()
+		return
+	}
+	d.step.Postpone(v)
+	d.stepKind = stepDeferWake
 }
 
 // onAckTimeout declares the awaited ACK lost and retries.
@@ -601,6 +737,11 @@ func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
 	if frm.dst != d.id && frm.nav > 0 {
 		if until := d.sched.Now() + frm.nav; until > d.navUntil {
 			d.navUntil = until
+			// NAV growth is own-state and exact: it feeds the folded
+			// countdown the same way a proven carrier onset does.
+			if d.folding && !d.step.IsZero() && !d.step.Done() && d.stepKind != stepCtsData {
+				d.maybePostpone()
+			}
 		}
 	}
 	switch frm.kind {
@@ -623,6 +764,8 @@ func (d *DCF) onRadio(raw any, _ pkt.NodeID, ok bool) {
 			d.ctsOut = nil
 			d.stepKind, d.stepOut = stepCtsData, d.inflight
 			d.step = d.sched.AfterEmit(d.cfg.SIFS, d.stepFn)
+			// Response steps never fold: the data send is unconditional.
+			d.foldOK = false
 		}
 	case frameData:
 		d.onData(frm)

@@ -104,6 +104,15 @@ type Waypoint struct {
 	cfg  WaypointConfig
 	rng  *sim.RNG
 	legs []leg
+	// Position memo: queries cluster tightly around the advancing
+	// simulation clock (a carrier probe reads every candidate's
+	// position at the same instant, and consecutive events sit
+	// microseconds apart), so the last result answers repeats verbatim
+	// and the last covering leg seeds the next search.
+	memoT   sim.Time
+	memoP   geom.Point
+	memoLeg int
+	memoOK  bool
 }
 
 var (
@@ -162,10 +171,25 @@ func (w *Waypoint) Position(t sim.Time) geom.Point {
 	if t < 0 {
 		t = 0
 	}
+	if w.memoOK && t == w.memoT {
+		return w.memoP
+	}
 	w.extendTo(t)
-	// Binary search for the covering leg. Trajectories are short (tens of
-	// legs for a 10-minute run), so this is cheap.
+	// Binary search for the covering leg, seeded from the memoised leg:
+	// the covering leg for a nearby query is almost always the same leg
+	// or its successor.
 	lo, hi := 0, len(w.legs)-1
+	if w.memoOK {
+		if l := w.legs[w.memoLeg]; l.start <= t {
+			if t < l.end() {
+				lo, hi = w.memoLeg, w.memoLeg
+			} else {
+				lo = w.memoLeg + 1
+			}
+		} else {
+			hi = w.memoLeg
+		}
+	}
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if w.legs[mid].end() <= t {
@@ -174,7 +198,8 @@ func (w *Waypoint) Position(t sim.Time) geom.Point {
 			hi = mid
 		}
 	}
-	return w.legs[lo].positionAt(t)
+	w.memoT, w.memoP, w.memoLeg, w.memoOK = t, w.legs[lo].positionAt(t), lo, true
+	return w.memoP
 }
 
 // Legs returns the number of trajectory segments generated so far. It is

@@ -22,6 +22,8 @@ package radio
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"anongossip/internal/geom"
 	"anongossip/internal/mobility"
@@ -56,6 +58,33 @@ type Stats struct {
 // Handler receives the outcome of a reception. frame is the value passed
 // to StartTx; ok is false when the reception was corrupted.
 type Handler func(frame any, from pkt.NodeID, ok bool)
+
+// CarrierPredictWindow bounds how far ahead CarrierProbe's closure
+// bound and CarrierOnset's proven classification remain valid: both
+// account for node motion by inflating the carrier-sense radius by
+// maxSpeed·CarrierPredictWindow, so a prediction about any instant
+// within the window is conservative no matter how the node moves.
+// Predictions past the window are unsound and callers must fall back
+// to an exact read. 25 ms comfortably covers every MAC countdown (the
+// longest is DIFS + CWMax slots ≈ 20.5 ms) while keeping the inflation
+// small (25 cm at the experiments' fastest 10 m/s sweep, against a
+// 45–85 m radius), so the uncertainty band stays rare.
+const CarrierPredictWindow = 25 * time.Millisecond
+
+// CarrierListener receives conservative channel-onset notifications —
+// the radio-side half of the MAC's folded contention countdown
+// (DESIGN.md §10). The medium invokes it during StartTx processing for
+// every listener the new transmission could possibly reach within
+// CarrierPredictWindow. proven means the listener is guaranteed to
+// sense this carrier at every instant it could query before the window
+// expires (the transmitter is at least maxSpeed·window inside the
+// sensing radius); onsets from the surrounding uncertainty band arrive
+// with proven == false and must invalidate any folded prediction.
+// Listeners run inside StartTx — solo context under every scheduler —
+// and may only touch their own node's state.
+type CarrierListener interface {
+	CarrierOnset(end sim.Time, proven bool)
+}
 
 // TxDone is the transmitter-side completion hook for StartTxNotify.
 // TxDone runs when the transmission's finish processing completes — at
@@ -129,6 +158,11 @@ type Medium struct {
 	// elided counts the per-receiver finish events the batched model
 	// folded into per-frame events; see ElidedEvents.
 	elided uint64
+	// carrierEps is the largest motion-uncertainty inflation among
+	// attached carrier listeners (maxSpeed·CarrierPredictWindow); the
+	// StartTx walks widen their candidate radius by it so band onsets
+	// reach every listener they might concern.
+	carrierEps float64
 }
 
 // NewMedium creates a channel managed by sched. Unless Params.Index
@@ -190,6 +224,10 @@ func (m *Medium) AttachOn(sched *sim.Scheduler, id pkt.NodeID, pos mobility.Mode
 		// start; simulation time is never negative.
 		lastInterference: -1,
 	}
+	if spd, ok := mobility.MaxSpeedOf(pos); ok {
+		t.maxSpeed, t.speedOK = spd, true
+		t.predEps = spd * CarrierPredictWindow.Seconds()
+	}
 	m.nodes = append(m.nodes, t)
 	m.byID[id] = t
 	m.index.Attach(t)
@@ -234,6 +272,27 @@ type Transceiver struct {
 	// idx is the attach-order position in medium.nodes; receiver tables
 	// reference transceivers by this index.
 	idx int32
+
+	// carrier, when non-nil, receives conservative channel-onset
+	// notifications (see CarrierListener). maxSpeed/speedOK cache the
+	// mobility model's Speeder bound at attach time; predEps is the
+	// motion-uncertainty inflation maxSpeed·CarrierPredictWindow that
+	// the onset classification and CarrierProbe's closure bound use.
+	carrier  CarrierListener
+	maxSpeed float64
+	speedOK  bool
+	predEps  float64
+
+	// Probe scratch: CarrierProbe's index walk accumulates into these
+	// fields through one reusable closure instead of per-call captures
+	// — the probe runs on every folded backoff arm, and boxing the
+	// accumulators was a measurable share of run-phase allocations at
+	// 100k nodes. Only this node's own probes touch them (cross-node
+	// index walks already run serialized under the sharded kernel).
+	probeBusy, probeReach sim.Time
+	probePos              geom.Point
+	probeR2               float64
+	probeFn               func(*transmission)
 
 	txEnd sim.Time // end of own in-flight transmission, 0 if idle
 
@@ -300,6 +359,89 @@ func (t *Transceiver) CarrierBusyUntil() sim.Time {
 	return until
 }
 
+// CarrierPredictable reports whether this node's mobility model
+// provides the conservative speed bound carrier prediction requires.
+// Without one, CarrierProbe's closure bound and onset classification
+// would be unsound, so callers must stick to exact reads.
+func (t *Transceiver) CarrierPredictable() bool { return t.speedOK }
+
+// SetCarrierListener registers (or clears) the channel-onset hook the
+// folded contention countdown listens on. Listeners on nodes without a
+// speed bound receive nothing (see CarrierPredictable).
+func (t *Transceiver) SetCarrierListener(l CarrierListener) {
+	if !t.speedOK {
+		return
+	}
+	t.carrier = l
+	if l != nil && t.predEps > t.medium.carrierEps {
+		t.medium.carrierEps = t.predEps
+	}
+}
+
+// CarrierProbe returns the exact CarrierBusyUntil value together with
+// a conservative closure bound: reach is the latest end time of any
+// transmission already on the air that could contribute carrier at
+// this node at any instant within CarrierPredictWindow, accounting for
+// the node's own motion (transmission origins are fixed). For any
+// target with reach <= target <= now + CarrierPredictWindow, the
+// channel is guaranteed idle at target unless a transmission starts
+// after now — and every such start the node could sense is reported
+// through its CarrierListener. Both values come from one index walk,
+// so a probe costs the same as CarrierBusyUntil.
+func (t *Transceiver) CarrierProbe() (busy, reach sim.Time) {
+	m := t.medium
+	now := t.sched.Now()
+	if t.txEnd > now {
+		busy = t.txEnd
+	}
+	reach = busy
+	if !t.speedOK {
+		reach = sim.Time(math.MaxInt64)
+	}
+	if !m.index.HasTx() {
+		return busy, reach
+	}
+	p := t.pos.Position(now)
+	r := m.params.Range
+	if !t.speedOK {
+		// No speed bound: the closure half is unsound (reach is already
+		// saturated); fall back to the exact-read walk.
+		r2 := r * r
+		m.index.ForEachTxInRange(now, p, r, func(tx *transmission) {
+			if tx.from != t && tx.end > busy && p.Dist2(tx.origin) <= r2 {
+				busy = tx.end
+			}
+		})
+		return busy, reach
+	}
+	t.probeBusy, t.probeReach = busy, reach
+	t.probePos, t.probeR2 = p, r*r
+	if t.probeFn == nil {
+		t.probeFn = func(tx *transmission) {
+			if tx.from == t {
+				return
+			}
+			if tx.end > t.probeReach {
+				t.probeReach = tx.end
+			}
+			if tx.end > t.probeBusy && t.probePos.Dist2(tx.origin) <= t.probeR2 {
+				t.probeBusy = tx.end
+			}
+		}
+	}
+	m.index.ForEachTxInRange(now, p, r+t.predEps, t.probeFn)
+	return t.probeBusy, t.probeReach
+}
+
+// notifyCarrier classifies one onset for an in-band listener: proven
+// when the listener sits at least its motion inflation inside the
+// sensing radius, band otherwise. d2 is the exact squared distance
+// from the transmission origin to the listener's current position.
+func notifyCarrier(rcv *Transceiver, d2, r float64, end sim.Time) {
+	in := r - rcv.predEps
+	rcv.carrier.CarrierOnset(end, in > 0 && d2 <= in*in)
+}
+
 // StartTx puts frame on the air for airtime. Receivers are the nodes
 // within range at the start of the transmission; each receives the frame
 // (or a corruption notice) when the airtime elapses.
@@ -330,6 +472,12 @@ func (t *Transceiver) StartTxNotify(frame any, airtime sim.Time, done TxDone) er
 	t.sent++
 	t.txEnd = tx.end
 
+	if t.carrier != nil {
+		// The node's own transmission raises its own carrier (an ACK or
+		// CTS sent while a head frame's countdown is pending); distance
+		// zero makes it proven by construction.
+		t.carrier.CarrierOnset(tx.end, true)
+	}
 	if m.params.Model == ModelRef {
 		t.startTxRef(tx, now)
 	} else {
@@ -350,13 +498,25 @@ func (t *Transceiver) startTxBatch(tx *transmission, now sim.Time) {
 	if t.rxInFlight > 0 {
 		t.lastInterference = now
 	}
-	r2 := m.params.Range * m.params.Range
-	m.index.ForEachCandidate(now, tx.origin, m.params.Range, func(rcv *Transceiver) {
+	r := m.params.Range
+	r2 := r * r
+	m.index.ForEachCandidate(now, tx.origin, r+m.carrierEps, func(rcv *Transceiver) {
 		if rcv == t {
 			return
 		}
-		if rcv.pos.Position(now).Dist2(tx.origin) > r2 {
+		d2 := rcv.pos.Position(now).Dist2(tx.origin)
+		if d2 > r2 {
+			// Out of range for reception, but possibly inside a carrier
+			// listener's uncertainty band: an unproven onset.
+			if rcv.carrier != nil {
+				if out := r + rcv.predEps; d2 <= out*out {
+					rcv.carrier.CarrierOnset(tx.end, false)
+				}
+			}
 			return
+		}
+		if rcv.carrier != nil {
+			notifyCarrier(rcv, d2, r, tx.end)
 		}
 		// A node mid-transmission cannot hear the frame, and any
 		// receptions already in flight at the receiver collide with the
@@ -426,13 +586,23 @@ func (t *Transceiver) startTxRef(tx *transmission, now sim.Time) {
 
 	// The index yields a position-superset in attach order; the exact
 	// unit-disc predicate runs here against fresh positions.
-	r2 := m.params.Range * m.params.Range
-	m.index.ForEachCandidate(now, tx.origin, m.params.Range, func(rcv *Transceiver) {
+	r := m.params.Range
+	r2 := r * r
+	m.index.ForEachCandidate(now, tx.origin, r+m.carrierEps, func(rcv *Transceiver) {
 		if rcv == t {
 			return
 		}
-		if rcv.pos.Position(now).Dist2(tx.origin) > r2 {
+		d2 := rcv.pos.Position(now).Dist2(tx.origin)
+		if d2 > r2 {
+			if rcv.carrier != nil {
+				if out := r + rcv.predEps; d2 <= out*out {
+					rcv.carrier.CarrierOnset(tx.end, false)
+				}
+			}
 			return
+		}
+		if rcv.carrier != nil {
+			notifyCarrier(rcv, d2, r, tx.end)
 		}
 		rec := &reception{tx: tx}
 		// A node mid-transmission cannot hear the frame, and any

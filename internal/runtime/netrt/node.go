@@ -142,6 +142,11 @@ func (n *Node) ID() pkt.NodeID { return n.id }
 // Stats returns the node's link-runtime counters.
 func (n *Node) Stats() *Stats { return &n.stats }
 
+// InboxCap returns the effective inbox capacity (NodeConfig.InboxSize,
+// or DefaultInboxSize when that was left zero) — the bound
+// Stats.InboxDrops counts against.
+func (n *Node) InboxCap() int { return cap(n.inbox) }
+
 // Now implements runtime.Clock. Like every Clock method it must only
 // be called from the node's event loop (engine callbacks, Do
 // closures) or before Start.

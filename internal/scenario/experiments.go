@@ -31,6 +31,10 @@ type Aggregate struct {
 	// workload-size metric for perf tracking, identical across the
 	// index, queue and reception-model kinds.
 	Events uint64
+	// HeapLiveBytes is the largest post-run live heap across seeds
+	// (zero unless the runs set Config.MeasureHeap; see the huge-scale
+	// family).
+	HeapLiveBytes uint64
 }
 
 // DeliveryRatio is mean delivery over packets sent, in [0, 1].
@@ -82,6 +86,9 @@ func AggregateResults(results []*Result) Aggregate {
 		goodputSum += r.MeanGoodput()
 		sentSum += r.Sent
 		agg.Events += r.Events
+		if r.HeapLiveBytes > agg.HeapLiveBytes {
+			agg.HeapLiveBytes = r.HeapLiveBytes
+		}
 	}
 	if len(results) > 0 {
 		agg.Goodput = goodputSum / float64(len(results))
@@ -273,6 +280,39 @@ func ShortenedData(c Config, duration time.Duration) Config {
 	}
 	c.DataEnd = duration - tail
 	return c
+}
+
+// --- huge-scale family (beyond the paper) ---
+//
+// The large-scale family stops at 1000 nodes. The huge family extends
+// the same constant-density law (75 m range, side(n) = 200·sqrt(n/40))
+// to 10k–100k nodes, where the questions change from delivery shape to
+// engineering: does throughput stay O(events), and does per-node
+// memory stay flat as the world grows? Its runs therefore measure the
+// live heap (Config.MeasureHeap) alongside events/sec, and agbench
+// -fig huge records heap_bytes_per_node / peak_heap_bytes for
+// cmd/benchgate's memory gates. At these scales a full paper-length
+// run is hours; the family is meant to be swept with a short data
+// window (agbench's -huge-duration, default 10 s), which makes the
+// delivery columns warm-up-dominated noise — the family's results are
+// the perf and memory columns, not the delivery tables.
+
+// HugeScaleXs returns the node counts of the huge-scale sweep.
+func HugeScaleXs() []float64 { return []float64{10000, 25000, 50000, 100000} }
+
+// ApplyHugeScale sets the node count on the constant-density terrain
+// (identical law to ApplyLargeScale) and turns on per-run heap
+// measurement.
+func ApplyHugeScale(c Config, x float64) Config {
+	c = ApplyLargeScale(c, x)
+	c.MeasureHeap = true
+	return c
+}
+
+// HugeScaleConfig returns the huge-scale configuration at one node
+// count. Callers almost always want ShortenedData on top.
+func HugeScaleConfig(nodes int) Config {
+	return ApplyHugeScale(DefaultConfig(), float64(nodes))
 }
 
 // --- dense-traffic family (beyond the paper) ---

@@ -12,6 +12,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"anongossip/internal/aodv"
@@ -183,6 +184,14 @@ type Config struct {
 
 	// Seed drives all randomness in the run.
 	Seed int64
+
+	// MeasureHeap, when set, records the post-run live heap into
+	// Result.HeapLiveBytes (a forced GC plus ReadMemStats, a few ms).
+	// The sample is process-wide: run points sequentially (seeds
+	// parallel=1, one run at a time) for meaningful per-run numbers.
+	// The huge-scale family sets it; the memory gates in cmd/benchgate
+	// are built on it.
+	MeasureHeap bool
 
 	// TraceCapacity, when positive, records the last N packet events
 	// network-wide into Result.Trace.
@@ -359,6 +368,10 @@ type Result struct {
 	Events uint64
 	// MeanDegree is the average neighbour count at the end of the run.
 	MeanDegree float64
+	// HeapLiveBytes is the process's live heap after the run with the
+	// simulated world still reachable (Config.MeasureHeap only) — the
+	// per-node memory-footprint metric of the huge-scale family.
+	HeapLiveBytes uint64
 	// Trace holds the packet trace when Config.TraceCapacity > 0.
 	Trace *trace.Ring
 }
@@ -398,7 +411,17 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		w.sched.Run(cfg.Duration)
 	}
-	return w.collect(), nil
+	res := w.collect()
+	if cfg.MeasureHeap {
+		runtime.GC() // settle garbage so the sample is live bytes
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		res.HeapLiveBytes = ms.HeapAlloc
+		// The world must stay reachable through the sample or the GC
+		// would collect exactly the footprint being measured.
+		runtime.KeepAlive(w)
+	}
+	return res, nil
 }
 
 // world is one assembled simulation.
@@ -625,16 +648,20 @@ func (w *world) sendData(idx int) {
 
 func (w *world) collect() *Result {
 	processed := w.sched.Processed()
+	elided := w.sched.Elided()
 	if w.coord != nil {
 		processed = w.coord.Processed()
+		elided = w.coord.Elided()
 	}
 	// Logical events: the batched reception model folds per-receiver
-	// finish events into per-frame ones, and the MAC cancels contention
+	// finish events into per-frame ones, the MAC cancels contention
 	// timers whose frame completed early instead of letting them fire
-	// as no-ops; adding both elided counts keeps the metric — and the
-	// golden digests pinned on it — identical across reception models,
-	// indexes, queues and schedulers.
-	events := processed + w.medium.ElidedEvents()
+	// as no-ops, and the kernel re-enqueues postponed contention hops
+	// without firing them (the folded countdown, DESIGN.md §10); adding
+	// every elided count keeps the metric — and the golden digests
+	// pinned on it — identical across reception models, indexes,
+	// queues, schedulers and fold settings.
+	events := processed + elided + w.medium.ElidedEvents()
 	for _, rt := range w.rts {
 		events += rt.MAC().Stats().ElidedEvents
 	}

@@ -144,6 +144,135 @@ func TestCalQueueCompact(t *testing.T) {
 	}
 }
 
+// TestCalQueueBimodalMillionProperty is the at-scale property test for
+// the wheel: a clustered bimodal workload — MAC-scale sub-microsecond
+// bursts plus hour-scale stragglers — pushed past one million pending
+// events, then drained and re-grown so occupancy crosses the 2× grow
+// and quarter-bucket shrink thresholds several times, with day
+// rollovers forced through the overflow heap throughout. Properties
+// checked: every pop respects the (at, seq) total order, the
+// push/pop multisets match exactly (order-insensitive checksum), the
+// wheel both grew and shrank, the overflow heap and multiple day
+// re-anchors were actually exercised, and the population count is
+// exact at every phase boundary.
+func TestCalQueueBimodalMillionProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-event property test")
+	}
+	q := newCalQueue()
+	rng := rand.New(rand.NewSource(9))
+
+	var (
+		seq             uint64
+		pushed, popped  int
+		sumPush, sumPop uint64
+		now             Time // scheduler discipline: never push before the last pop
+		last            event
+		grows, shrinks  int
+		dayMoves        int
+		overflowSeen    bool
+		prevNbkt        = q.nbkt
+		prevDay         = q.dayStart
+	)
+	mix := func(e event) uint64 {
+		h := uint64(e.at)*0x9e3779b97f4a7c15 ^ (e.seq * 0xbf58476d1ce4e5b9)
+		return h ^ (h >> 29)
+	}
+	note := func() {
+		if q.nbkt > prevNbkt {
+			grows++
+		} else if q.nbkt < prevNbkt {
+			shrinks++
+		}
+		prevNbkt = q.nbkt
+		if q.dayStart != prevDay {
+			dayMoves++
+			prevDay = q.dayStart
+		}
+		if q.overflow.len() > 0 {
+			overflowSeen = true
+		}
+	}
+	push := func(at Time) {
+		e := event{at: at, seq: seq, slot: int32(seq & 0x3fffffff)}
+		seq++
+		q.push(e)
+		pushed++
+		sumPush += mix(e)
+		note()
+	}
+	pop := func() {
+		e := q.pop()
+		if popped > 0 && e.less(last) {
+			t.Fatalf("pop order violated: %+v after %+v", e, last)
+		}
+		last = e
+		if e.at > now {
+			now = e.at
+		}
+		popped++
+		sumPop += mix(e)
+		note()
+	}
+	// Bimodal pushes anchored at the current drain point: dense
+	// sub-microsecond cluster (weight 9) and sparse hour-scale tail
+	// (weight 1), the latter guaranteed to land beyond the day.
+	bimodal := func(n int) {
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				push(now + Time(1+rng.Intn(3600))*time.Second)
+			} else {
+				push(now + Time(rng.Intn(2000)))
+			}
+		}
+	}
+
+	const peak = 1_100_000
+	bimodal(peak)
+	if q.len() != peak {
+		t.Fatalf("population %d after push phase, want %d", q.len(), peak)
+	}
+	if grows == 0 {
+		t.Fatalf("wheel never grew on the way to %d pending", peak)
+	}
+	if !overflowSeen {
+		t.Fatal("hour-scale tail never reached the overflow heap")
+	}
+
+	// Drain to a sliver so occupancy falls through the quarter-bucket
+	// shrink threshold repeatedly, then rebuild the population twice
+	// more so the 2× grow threshold is crossed from a calibrated (not
+	// initial) wheel state.
+	for cycle := 0; cycle < 2; cycle++ {
+		for q.len() > peak/20 {
+			pop()
+		}
+		if shrinks == 0 {
+			t.Fatalf("cycle %d: wheel never shrank draining to %d pending", cycle, q.len())
+		}
+		bimodal(peak / 2)
+	}
+	for q.len() > 0 {
+		pop()
+	}
+
+	if pushed != popped {
+		t.Fatalf("popped %d of %d pushed events", popped, pushed)
+	}
+	if sumPush != sumPop {
+		t.Fatalf("push/pop multisets diverged: checksum %x vs %x", sumPush, sumPop)
+	}
+	if grows < 2 || shrinks < 2 {
+		t.Fatalf("occupancy thresholds undercrossed: %d grows, %d shrinks, want ≥2 each", grows, shrinks)
+	}
+	if dayMoves < 10 {
+		t.Fatalf("only %d day re-anchors; the hour-scale tail should force many", dayMoves)
+	}
+	if q.nbkt != calMinBuckets {
+		t.Fatalf("empty queue kept %d buckets, want the floor %d", q.nbkt, calMinBuckets)
+	}
+}
+
 // TestCalQueueCalibratedShiftClamps pins the width-recalibration
 // bounds: zero gaps (same-instant bursts) never drive the width below
 // the floor, and huge gaps never push it past the ceiling.

@@ -11,6 +11,15 @@ import (
 // consumed by independent components (mobility, MAC backoff, protocol
 // choices): adding a random draw in one component does not perturb the
 // others, which keeps experiments comparable across code changes.
+//
+// The backing math/rand source (a ~4.8 KiB lagged-Fibonacci table) is
+// allocated on the first draw, not at construction: a scenario derives
+// a dozen streams per node but many — Derive-only intermediates,
+// protocol jitter on nodes that never forward — are never drawn from,
+// and at 100k nodes the unused tables were the largest single heap
+// consumer. Laziness is invisible to callers: the first draw seeds the
+// source exactly as eager construction did, so sequences are
+// bit-identical.
 type RNG struct {
 	seed int64
 	r    *rand.Rand
@@ -18,7 +27,15 @@ type RNG struct {
 
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{seed: seed, r: rand.New(rand.NewSource(seed))}
+	return &RNG{seed: seed}
+}
+
+// src returns the backing generator, allocating it on first use.
+func (g *RNG) src() *rand.Rand {
+	if g.r == nil {
+		g.r = rand.New(rand.NewSource(g.seed))
+	}
+	return g.r
 }
 
 // Derive returns an independent sub-stream identified by name. The mapping
@@ -39,20 +56,20 @@ func (g *RNG) Derive(name string) *RNG {
 func (g *RNG) Seed() int64 { return g.seed }
 
 // Float64 returns a uniform value in [0, 1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 { return g.src().Float64() }
 
 // Intn returns a uniform value in [0, n). n must be > 0.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int { return g.src().Intn(n) }
 
 // Int63 returns a non-negative uniform 63-bit integer.
-func (g *RNG) Int63() int64 { return g.r.Int63() }
+func (g *RNG) Int63() int64 { return g.src().Int63() }
 
 // Uniform returns a uniform value in [lo, hi). If hi <= lo it returns lo.
 func (g *RNG) Uniform(lo, hi float64) float64 {
 	if hi <= lo {
 		return lo
 	}
-	return lo + (hi-lo)*g.r.Float64()
+	return lo + (hi-lo)*g.src().Float64()
 }
 
 // Duration returns a uniform duration in [0, max). If max <= 0 it returns 0.
@@ -60,7 +77,7 @@ func (g *RNG) Duration(max time.Duration) time.Duration {
 	if max <= 0 {
 		return 0
 	}
-	return time.Duration(g.r.Int63n(int64(max)))
+	return time.Duration(g.src().Int63n(int64(max)))
 }
 
 // DurationRange returns a uniform duration in [lo, hi). If hi <= lo it
@@ -69,7 +86,7 @@ func (g *RNG) DurationRange(lo, hi time.Duration) time.Duration {
 	if hi <= lo {
 		return lo
 	}
-	return lo + time.Duration(g.r.Int63n(int64(hi-lo)))
+	return lo + time.Duration(g.src().Int63n(int64(hi-lo)))
 }
 
 // Bool returns true with probability p (clamped to [0, 1]).
@@ -80,12 +97,12 @@ func (g *RNG) Bool(p float64) bool {
 	case p >= 1:
 		return true
 	default:
-		return g.r.Float64() < p
+		return g.src().Float64() < p
 	}
 }
 
 // Perm returns a random permutation of [0, n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int { return g.src().Perm(n) }
 
 // WeightedIndex picks an index in [0, len(weights)) with probability
 // proportional to weights[i]. Non-positive weights are treated as zero.
@@ -100,7 +117,7 @@ func (g *RNG) WeightedIndex(weights []float64) int {
 	if total <= 0 {
 		return -1
 	}
-	x := g.r.Float64() * total
+	x := g.src().Float64() * total
 	for i, w := range weights {
 		if w <= 0 {
 			continue

@@ -363,6 +363,17 @@ func (c *Sharded) Processed() uint64 {
 	return n
 }
 
+// Elided returns the number of postponed-timer hops re-enqueued
+// without firing across all lanes (the sharded counterpart of
+// Scheduler.Elided; see Timer.Postpone).
+func (c *Sharded) Elided() uint64 {
+	n := c.global.elided
+	for _, s := range c.shards {
+		n += s.elided
+	}
+	return n
+}
+
 // Pending returns the number of live events scheduled across all
 // lanes, including staged and global-queue entries.
 func (c *Sharded) Pending() int {
@@ -537,6 +548,17 @@ func (c *Sharded) sweep(t Time) {
 			g := c.gq.pop()
 			s := c.laneSched(g.lane)
 			sl := &s.pool[g.slot]
+			if sl.next > g.at {
+				// Postponed hop: re-enqueue at the lazy target, consuming
+				// the rank its re-arm would have taken at this position.
+				rank := c.rankCtr
+				c.rankCtr++
+				sl.at = sl.next
+				sl.rank = rank
+				c.gq.push(gEvent{at: sl.next, rank: rank, lane: g.lane, slot: g.slot})
+				s.elided++
+				continue
+			}
 			fn := sl.fn
 			sl.fn = nil
 			sl.state = slotFired
@@ -546,6 +568,15 @@ func (c *Sharded) sweep(t Time) {
 		default:
 			s := c.shards[lane]
 			e := s.q.pop()
+			if sl := &s.pool[e.slot]; sl.next > e.at {
+				rank := c.rankCtr
+				c.rankCtr++
+				sl.at = sl.next
+				sl.rank = rank
+				s.q.push(event{at: sl.next, seq: rank, slot: e.slot})
+				s.elided++
+				continue
+			}
 			s.fire(e)()
 			s.processed++
 		}
@@ -575,6 +606,15 @@ func (c *Sharded) soloRun(s *Scheduler, wEnd Time) {
 			continue
 		}
 		s.now = e.at
+		if sl := &s.pool[e.slot]; sl.next > e.at {
+			rank := c.rankCtr
+			c.rankCtr++
+			sl.at = sl.next
+			sl.rank = rank
+			s.q.push(event{at: sl.next, seq: rank, slot: e.slot})
+			s.elided++
+			continue
+		}
 		s.fire(e)()
 		s.processed++
 	}
@@ -622,6 +662,25 @@ func (c *Sharded) runWindow(s *Scheduler) {
 			continue
 		}
 		s.now = e.at
+		if sl.next > e.at {
+			// Postponed hop inside a window. Postponements are only issued
+			// from solo context (carrier onsets and NAV updates ride global
+			// events), so the slot carries a real rank from before the
+			// window; log a one-child record — the re-enqueued entry — and
+			// let the barrier assign the child its exact serial rank, just
+			// as it would for a fired hop's re-arm.
+			rec := execRec{at: e.at, rank: sl.rank, firstChild: int32(len(ctx.children))}
+			band := c.windowBase + ctx.bandCtr
+			ctx.bandCtr++
+			sl.rank = rankPending
+			sl.at = sl.next
+			s.q.push(event{at: sl.next, seq: band, slot: e.slot})
+			ctx.children = append(ctx.children, childRef{at: sl.next, slot: e.slot, gen: sl.gen, emit: false})
+			rec.nChild = 1
+			ctx.recs = append(ctx.recs, rec)
+			s.elided++
+			continue
+		}
 		fn := sl.fn
 		sl.fn = nil
 		sl.state = slotFired

@@ -144,6 +144,22 @@ func (w *shardSide) runGlobal(id uint64) {
 			w.lTimers[lane][int(r>>16)%len(w.lTimers[lane])].Cancel()
 		}
 	}
+	// Postpone/Unpostpone mirror the MAC fold: a solo event (a carrier
+	// onset, in protocol terms) pushes a pending lane timer forward
+	// without firing it, or revokes an earlier push. Both kernels must
+	// agree on the elided-hop count and on where the timer finally
+	// fires.
+	if r%5 == 1 {
+		lane := int(r>>6) % len(w.lanes)
+		if n := len(w.lTimers[lane]); n > 0 {
+			tm := w.lTimers[lane][int(r>>20)%n]
+			if (r>>40)%4 == 0 {
+				tm.Unpostpone()
+			} else {
+				tm.Postpone(w.global.Now() + Time((r>>12)%64)*time.Millisecond)
+			}
+		}
+	}
 }
 
 // seedWorkload plants the identical initial event population on a side.
@@ -207,6 +223,9 @@ func runShardDifferential(t testing.TB, seed uint64, nLanes, workers int, queue 
 	cn := coord.Run(harnessHorizon)
 
 	compareSides(t, label, serial, sharded, sn, cn)
+	if se, ce := serial.global.Elided(), coord.Elided(); se != ce {
+		t.Fatalf("%s: elided hops diverged: serial %d, sharded %d", label, se, ce)
+	}
 	if serial.global.Now() != coord.Now() {
 		t.Fatalf("%s: clocks diverged: serial %v, sharded %v", label, serial.global.Now(), coord.Now())
 	}
@@ -258,6 +277,11 @@ func FuzzShardedDifferential(f *testing.F) {
 	f.Add(uint64(1), uint8(3), uint8(4))
 	f.Add(uint64(7), uint8(8), uint8(2))
 	f.Add(uint64(1234567), uint8(5), uint8(8))
+	// Seeds whose solo events postpone pending timers (the fold path):
+	// dense global populations make the r%5 branch fire repeatedly.
+	f.Add(uint64(42), uint8(4), uint8(4))
+	f.Add(uint64(9001), uint8(2), uint8(7))
+	f.Add(uint64(777), uint8(6), uint8(3))
 	f.Fuzz(func(t *testing.T, seed uint64, lanes, workers uint8) {
 		nLanes := int(lanes%8) + 1
 		nWorkers := int(workers%8) + 1
