@@ -60,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"anongossip/internal/metrics"
 	"anongossip/internal/radio"
 	"anongossip/internal/scenario"
 	"anongossip/internal/sim"
@@ -119,6 +120,11 @@ type jsonPoint struct {
 	// the node count); zero elsewhere.
 	PeakHeapBytes    uint64  `json:"peak_heap_bytes,omitempty"`
 	HeapBytesPerNode float64 `json:"heap_bytes_per_node,omitempty"`
+	// Metrics carries the point's channel-utilization time series when
+	// -metrics is set: one representative single-seed run per point with
+	// the telemetry sampler on (the sampler is observe-only, so the run
+	// is bit-identical to the sweep's same-seed run).
+	Metrics []metrics.Window `json:"metrics,omitempty"`
 }
 
 // jsonFigure is one completed sweep.
@@ -229,6 +235,10 @@ func run(args []string) error {
 		denseNodes = fs.Int("dense-nodes", scenario.DenseNodes, "node count of the -fig dense sweep")
 		denseMax   = fs.Int("dense-max", 60, "largest target degree of the -fig dense sweep")
 		jsonPath   = fs.String("json", "", "write a machine-readable result record to this file")
+		metricsOn  = fs.Bool("metrics", false,
+			"collect a channel-utilization time series per sweep point (one extra single-seed sampler run per point; printed, added to -json, and written to -metrics-csv). Also arms the sampler on the timed sweep runs themselves — results stay bit-identical (observe-only contract) and the recorded wall times honestly include sampling overhead, which is what the CI overhead gate measures")
+		metricsWin = fs.Duration("metrics-window", 10*time.Second, "sampling cadence for -metrics")
+		metricsCSV = fs.String("metrics-csv", "", "write the -metrics series as CSV to this file")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -365,6 +375,48 @@ func run(args []string) error {
 		Duration:  base.Duration.String(),
 	}
 
+	var metricsCSVBuf strings.Builder
+
+	// runMetrics collects each sweep point's channel-utilization series:
+	// one representative run (first seed, treatment stack) per point with
+	// the sampler on. Sampling is observe-only, so the run reproduces the
+	// sweep's same-seed run bit for bit; only the telemetry is new.
+	runMetrics := func(id, xName string, xs []float64, cfg scenario.Config,
+		apply func(scenario.Config, float64) scenario.Config) ([][]metrics.Window, error) {
+		out := make([][]metrics.Window, len(xs))
+		for i, x := range xs {
+			c := apply(cfg, x)
+			c.Seed = seedList[0]
+			c.MetricsWindow = *metricsWin
+			res, err := scenario.Run(c)
+			if err != nil {
+				return nil, fmt.Errorf("metrics run %s=%v: %w", xName, x, err)
+			}
+			out[i] = res.Metrics.Windows
+			fmt.Printf("-- channel utilization at %s=%.0f (seed %d, %v windows) --\n",
+				xName, x, c.Seed, *metricsWin)
+			fmt.Printf("%7s %6s | %5s %5s %5s %5s | %7s %7s %7s %6s\n",
+				"t(s)", "busy", "mac", "route", "data", "gossip", "rounds", "deliv", "retry", "queue")
+			for _, w := range res.Metrics.Windows {
+				fmt.Printf("%7.0f %5.1f%% | %4.0f%% %4.0f%% %4.0f%% %4.0f%% | %7d %7d %7d %6d\n",
+					w.End.Seconds(), 100*w.BusyFraction(),
+					100*w.AirtimeShare(metrics.LayerMAC),
+					100*w.AirtimeShare(metrics.LayerRouting),
+					100*w.AirtimeShare(metrics.LayerData),
+					100*w.AirtimeShare(metrics.LayerGossip),
+					w.GossipRounds, w.DataDelivered, w.MACRetries, w.QueueDepth)
+			}
+			if *metricsCSV != "" {
+				fmt.Fprintf(&metricsCSVBuf, "# figure=%s %s=%v seed=%d\n", id, xName, x, c.Seed)
+				if err := res.Metrics.WriteCSV(&metricsCSVBuf); err != nil {
+					return nil, err
+				}
+			}
+		}
+		fmt.Println()
+		return out, nil
+	}
+
 	// runSweep executes one x-axis sweep: print the table, record the
 	// JSON figure. Every family (paper figures, large, dense) funnels
 	// through it so the format and the record stay in lockstep.
@@ -373,6 +425,12 @@ func run(args []string) error {
 		fmt.Printf("=== %s ===\n", title)
 		fmt.Printf("(%d seeds, %d packets sent %s)\n", len(seedList), cfg.ExpectedPackets(), note)
 		fmt.Printf("%-10s | %28s | %28s\n", xName, treatCol, baseCol)
+		if *metricsOn {
+			// Sample the timed runs too: observe-only, so every number in
+			// the table is bit-identical to an unsampled run, but the wall
+			// times now carry the sampler's true overhead.
+			cfg.MetricsWindow = *metricsWin
+		}
 		rows, err := scenario.RunComparisonStacks(cfg, xs, apply, seedList, *parallel, nil,
 			treatment, baseline)
 		if err != nil {
@@ -386,6 +444,16 @@ func run(args []string) error {
 		}
 		fmt.Println()
 		report.addFigure(id, title, xName, rows)
+		if *metricsOn {
+			series, err := runMetrics(id, xName, xs, cfg, apply)
+			if err != nil {
+				return err
+			}
+			fig := &report.Figures[len(report.Figures)-1]
+			for i := range fig.Points {
+				fig.Points[i].Metrics = series[i]
+			}
+		}
 		return nil
 	}
 	internals := fmt.Sprintf("%s index, %s rxmodel, %s kernel", *index, *rxmodel, *schedStr)
@@ -493,6 +561,13 @@ func run(args []string) error {
 
 	total := time.Since(start)
 	fmt.Printf("total wall time: %v\n", total.Round(time.Second))
+
+	if *metricsCSV != "" && metricsCSVBuf.Len() > 0 {
+		if err := os.WriteFile(*metricsCSV, []byte(metricsCSVBuf.String()), 0o644); err != nil {
+			return fmt.Errorf("metrics-csv: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *metricsCSV)
+	}
 
 	if *jsonPath != "" {
 		report.TotalWallSeconds = total.Seconds()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"anongossip/internal/metrics"
 	"anongossip/internal/node"
 	"anongossip/internal/pkt"
 	"anongossip/internal/runtime/netrt"
@@ -84,6 +86,7 @@ type delivery struct {
 type daemon struct {
 	cfg daemonConfig
 	pn  *netrt.ProtocolNode
+	reg *metrics.Registry
 
 	mu       sync.Mutex
 	arrivals []time.Time // wall-clock delivery instants
@@ -126,7 +129,128 @@ func newDaemon(cfg daemonConfig, tr netrt.Transport) (*daemon, error) {
 		pn.Close()
 		return nil, err
 	}
+	d.reg = d.buildRegistry()
 	return d, nil
+}
+
+// buildRegistry wires the Prometheus /metrics families. Collection is
+// pull-based: link counters read the runtime's atomics directly, while
+// engine counters round-trip through the node's Do serializer at scrape
+// time (the same path /stats uses), so the event loop stays the only
+// goroutine touching protocol state.
+func (d *daemon) buildRegistry() *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Counter("agnode_delivered_total",
+		"Unique data packets delivered to the application (routing + recovery).",
+		func(emit func(metrics.Sample)) {
+			d.mu.Lock()
+			v := float64(d.count)
+			d.mu.Unlock()
+			emit(metrics.Sample{Value: v})
+		})
+	reg.Gauge("agnode_subscribers",
+		"Active /subscribe delivery streams.",
+		func(emit func(metrics.Sample)) {
+			d.mu.Lock()
+			v := float64(len(d.subs))
+			d.mu.Unlock()
+			emit(metrics.Sample{Value: v})
+		})
+	reg.Counter("agnode_link_frames_total",
+		"Link frames by direction.",
+		func(emit func(metrics.Sample)) {
+			ls := d.pn.Runtime().Stats()
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "direction", Value: "in"}}, Value: float64(ls.FramesIn.Load())})
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "direction", Value: "out"}}, Value: float64(ls.FramesOut.Load())})
+		})
+	reg.Counter("agnode_link_bytes_total",
+		"Link bytes by direction.",
+		func(emit func(metrics.Sample)) {
+			ls := d.pn.Runtime().Stats()
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "direction", Value: "in"}}, Value: float64(ls.BytesIn.Load())})
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "direction", Value: "out"}}, Value: float64(ls.BytesOut.Load())})
+		})
+	reg.Counter("agnode_link_errors_total",
+		"Dropped or failed frames by cause.",
+		func(emit func(metrics.Sample)) {
+			ls := d.pn.Runtime().Stats()
+			for _, e := range []struct {
+				kind string
+				v    uint64
+			}{
+				{"malformed", ls.Malformed.Load()},
+				{"filtered", ls.Filtered.Load()},
+				{"send", ls.SendErrors.Load()},
+				{"inbox_drop", ls.InboxDrops.Load()},
+			} {
+				emit(metrics.Sample{Labels: []metrics.Label{{Name: "kind", Value: e.kind}}, Value: float64(e.v)})
+			}
+		})
+	reg.Gauge("agnode_inbox_capacity",
+		"Configured frame-queue bound between socket and event loop.",
+		func(emit func(metrics.Sample)) {
+			emit(metrics.Sample{Value: float64(d.pn.Runtime().InboxCap())})
+		})
+	reg.Counter("agnode_node_packets_total",
+		"Network-layer packet counts by operation.",
+		func(emit func(metrics.Sample)) {
+			ns, err := d.pn.NodeStats()
+			if err != nil {
+				return
+			}
+			for _, e := range []struct {
+				op string
+				v  uint64
+			}{
+				{"sent", ns.Sent},
+				{"forwarded", ns.Forwarded},
+				{"delivered", ns.Delivered},
+				{"ttl_drop", ns.TTLDrops},
+				{"no_handler", ns.NoHandler},
+				{"mac_reject", ns.MACRejects},
+			} {
+				emit(metrics.Sample{Labels: []metrics.Label{{Name: "op", Value: e.op}}, Value: float64(e.v)})
+			}
+		})
+	reg.Counter("agnode_node_bytes_total",
+		"Network-layer transmitted bytes by class.",
+		func(emit func(metrics.Sample)) {
+			ns, err := d.pn.NodeStats()
+			if err != nil {
+				return
+			}
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "class", Value: "control"}}, Value: float64(ns.ControlBytes)})
+			emit(metrics.Sample{Labels: []metrics.Label{{Name: "class", Value: "payload"}}, Value: float64(ns.PayloadBytes)})
+		})
+	reg.Counter("agnode_recovery_packets_total",
+		"Recovery-layer outcomes (gossip stacks).",
+		func(emit func(metrics.Sample)) {
+			rs, err := d.pn.RecoveryStats()
+			if err != nil {
+				return
+			}
+			for _, e := range []struct {
+				op string
+				v  uint64
+			}{
+				{"delivered", rs.Delivered},
+				{"recovered", rs.Recovered},
+				{"reply_new", rs.ReplyNew},
+				{"reply_dup", rs.ReplyDup},
+			} {
+				emit(metrics.Sample{Labels: []metrics.Label{{Name: "op", Value: e.op}}, Value: float64(e.v)})
+			}
+		})
+	reg.Gauge("agnode_recovery_goodput_percent",
+		"Percentage of useful recovery-reply traffic (paper §5.5).",
+		func(emit func(metrics.Sample)) {
+			rs, err := d.pn.RecoveryStats()
+			if err != nil {
+				return
+			}
+			emit(metrics.Sample{Value: rs.Goodput})
+		})
+	return reg
 }
 
 // Close stops the node.
@@ -217,9 +341,21 @@ func (d *daemon) report() (*statsReport, error) {
 }
 
 // handler builds the client API: POST /publish, GET /subscribe (SSE),
-// GET /stats.
+// GET /stats, GET /metrics (Prometheus text format), and the pprof
+// endpoints under /debug/pprof/.
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := d.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
 		key, err := d.pn.Publish(d.cfg.Group)
 		if err != nil {

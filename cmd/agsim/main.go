@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"anongossip"
+	"anongossip/internal/metrics"
 	"anongossip/internal/pkt"
 )
 
@@ -59,10 +60,12 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "worker goroutines for -scheduler sharded (0 = NumCPU)")
 		queue   = fs.String("queue", "quad",
 			"kernel event queue: "+anongossip.QueueNames()+" (bit-identical results; only wall time changes)")
-		interval = fs.Duration("gossip-interval", time.Second, "gossip round period")
-		panon    = fs.Float64("panon", 0.7, "probability of anonymous vs cached gossip")
-		verbose  = fs.Bool("verbose", false, "print per-member rows")
-		traceN   = fs.Int("trace", 0, "dump the last N gossip/data packet events")
+		interval   = fs.Duration("gossip-interval", time.Second, "gossip round period")
+		panon      = fs.Float64("panon", 0.7, "probability of anonymous vs cached gossip")
+		verbose    = fs.Bool("verbose", false, "print per-member rows")
+		traceN     = fs.Int("trace", 0, "dump the last N gossip/data packet events")
+		metricsWin = fs.Duration("metrics-window", 0,
+			"sample channel-utilization windows at this cadence and print the series (0 = off; observe-only, results are bit-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +107,7 @@ func run(args []string) error {
 		cfg.TraceCapacity = *traceN
 		cfg.TraceKinds = []pkt.Kind{pkt.KindData, pkt.KindGossipReq, pkt.KindGossipRep}
 	}
+	cfg.MetricsWindow = *metricsWin
 
 	start := time.Now()
 	res, err := anongossip.Run(cfg)
@@ -129,6 +133,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("simulator    %d events in %v (%.1fx real time, %s)\n",
 		res.Events, wall.Round(time.Millisecond), cfg.Duration.Seconds()/wall.Seconds(), engine)
+	fmt.Printf("             processed %d, elided %d (kernel %d, radio %d, mac %d)\n",
+		res.EventsProcessed, res.ElidedKernel+res.ElidedRadio+res.ElidedMAC,
+		res.ElidedKernel, res.ElidedRadio, res.ElidedMAC)
 
 	if *verbose {
 		fmt.Printf("\n%8s %10s %10s %10s\n", "member", "received", "recovered", "goodput")
@@ -137,6 +144,29 @@ func run(args []string) error {
 		for _, m := range members {
 			fmt.Printf("%8v %10d %10d %9.1f%%\n", m.Node, m.Received, m.Recovered, m.Goodput)
 		}
+	}
+	if res.Metrics != nil {
+		fmt.Printf("\nchannel utilization (%v windows):\n", res.Metrics.WindowLen)
+		fmt.Printf("%7s %6s | %5s %5s %5s %5s | %7s %7s %7s %6s %6s\n",
+			"t(s)", "busy", "mac", "route", "data", "gossip",
+			"rounds", "deliv", "retry", "queue", "air")
+		for _, win := range res.Metrics.Windows {
+			fmt.Printf("%7.0f %5.1f%% | %4.0f%% %4.0f%% %4.0f%% %4.0f%% | %7d %7d %7d %6d %6d\n",
+				win.End.Seconds(), 100*win.BusyFraction(),
+				100*win.AirtimeShare(metrics.LayerMAC),
+				100*win.AirtimeShare(metrics.LayerRouting),
+				100*win.AirtimeShare(metrics.LayerData),
+				100*win.AirtimeShare(metrics.LayerGossip),
+				win.GossipRounds, win.DataDelivered, win.MACRetries,
+				win.QueueDepth, win.InFlight)
+		}
+		var totalAir time.Duration
+		for _, a := range res.Channel.AirtimeByLayer {
+			totalAir += a
+		}
+		fmt.Printf("totals: %d transmissions, %v airtime (%.1f%% of the run)\n",
+			res.Channel.TotalTx(), totalAir.Round(time.Millisecond),
+			100*float64(totalAir)/float64(cfg.Duration))
 	}
 	if res.Trace != nil {
 		fmt.Printf("\ntrace: %s\n", res.Trace.Summary())

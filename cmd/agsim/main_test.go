@@ -39,8 +39,24 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-scheduler", "quantum"}); err == nil {
 		t.Fatal("unknown scheduler kind accepted")
 	}
-	if err := run([]string{"-scheduler", "sharded", "-trace", "5", "-duration", "60s"}); err == nil {
-		t.Fatal("sharded + trace capture accepted")
+	if err := run([]string{"-metrics-window", "-1s", "-duration", "60s"}); err == nil {
+		t.Fatal("negative metrics window accepted")
+	}
+}
+
+// TestRunShardedTrace drives trace capture under the sharded scheduler
+// — per-lane rings merged in barrier-replay order — end to end.
+func TestRunShardedTrace(t *testing.T) {
+	err := run([]string{
+		"-protocol", "gossip",
+		"-nodes", "15",
+		"-duration", "60s",
+		"-scheduler", "sharded",
+		"-workers", "2",
+		"-trace", "5",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }
 

@@ -19,6 +19,15 @@
 // kind, and the gate picks the one matching the candidate so quad and
 // cal numbers are only ever compared like for like.
 //
+// Raw-baseline mode gates two agbench -json records produced in the
+// same run against each other — no committed BENCH_*.json involved.
+// CI uses it as the metrics-overhead gate: one dense sweep without
+// sampling, one with `-metrics`, and the sampled run must keep at
+// least -min-speed-ratio of the plain run's events/sec:
+//
+//	benchgate -raw-baseline plain.json -candidate sampled.json \
+//	          -min-speed-ratio 0.9
+//
 // Record mode regenerates the committed baseline: it runs the
 // serial-vs-sharded scheduler matrix (every -queue kind × every
 // -workers count at every -matrix-nodes count, constant-density
@@ -129,6 +138,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	var (
 		baselinePath = fs.String("baseline", "", "committed baseline (BENCH_*.json) to gate against")
+		rawBaseline  = fs.String("raw-baseline", "", "raw agbench -json record to gate against (same-run comparison, e.g. the metrics-overhead gate)")
 		candidate    = fs.String("candidate", "", "fresh agbench -json record to check")
 		minSpeed     = fs.Float64("min-speed-ratio", 0.5, "fail if candidate events/sec falls below this fraction of baseline")
 		maxAllocs    = fs.Float64("max-allocs-ratio", 1.5, "fail if candidate mallocs/event exceeds this multiple of baseline")
@@ -149,10 +159,17 @@ func run(args []string) error {
 	if *record != "" {
 		return runRecord(*record, *smokePath, *matrixNodes, *queueList, *workerList, *duration, *minCalSpeed, *prevPath, *note)
 	}
-	if *baselinePath == "" || *candidate == "" {
-		return fmt.Errorf("need -baseline and -candidate (or -record); see -help")
+	if *baselinePath != "" && *rawBaseline != "" {
+		return fmt.Errorf("-baseline and -raw-baseline are mutually exclusive")
 	}
-	return runGate(*baselinePath, *candidate, *minSpeed, *maxAllocs, *maxHeap)
+	base, embedded := *baselinePath, true
+	if *rawBaseline != "" {
+		base, embedded = *rawBaseline, false
+	}
+	if base == "" || *candidate == "" {
+		return fmt.Errorf("need -baseline or -raw-baseline, and -candidate (or -record); see -help")
+	}
+	return runGate(base, embedded, *candidate, *minSpeed, *maxAllocs, *maxHeap)
 }
 
 func parseInts(csv string) ([]int, error) {
@@ -458,12 +475,12 @@ func parseFigures(rec *smokeRecord, path string) error {
 	return nil
 }
 
-func runGate(baselinePath, candidatePath string, minSpeed, maxAllocs, maxHeap float64) error {
+func runGate(baselinePath string, embedded bool, candidatePath string, minSpeed, maxAllocs, maxHeap float64) error {
 	cand, err := loadSmoke(candidatePath, false, "", "")
 	if err != nil {
 		return err
 	}
-	base, err := loadSmoke(baselinePath, true, cand.Queue, strings.Join(cand.figureIDs, "+"))
+	base, err := loadSmoke(baselinePath, embedded, cand.Queue, strings.Join(cand.figureIDs, "+"))
 	if err != nil {
 		return err
 	}

@@ -133,6 +133,30 @@ func TestGateRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestGateRawBaseline pins the same-run comparison mode used by the CI
+// metrics-overhead gate: two raw agbench records gate directly against
+// each other, no committed baseline wrapper, with the custom speed
+// floor applied.
+func TestGateRawBaseline(t *testing.T) {
+	plain := writeFile(t, "plain.json", fakeAgbenchRecord(1_000_000, 2.0, 40))
+	// 5% slower than plain: passes a 0.9 floor, fails a 0.99 floor.
+	sampled := writeFile(t, "sampled.json", fakeAgbenchRecord(1_000_000, 2.1, 40))
+	if err := run([]string{"-raw-baseline", plain, "-candidate", sampled,
+		"-min-speed-ratio", "0.9"}); err != nil {
+		t.Fatalf("5%% overhead failed the 0.9x floor: %v", err)
+	}
+	err := run([]string{"-raw-baseline", plain, "-candidate", sampled,
+		"-min-speed-ratio", "0.99"})
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("5%% overhead passed the 0.99x floor: %v", err)
+	}
+	// The two baseline flags cannot be combined.
+	err = run([]string{"-baseline", plain, "-raw-baseline", plain, "-candidate", sampled})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-baseline + -raw-baseline accepted: %v", err)
+	}
+}
+
 // TestGateRejectsCrossQueue pins the like-for-like rule: a candidate
 // recorded under one queue kind must not gate against a baseline that
 // only carries another kind's smoke record.

@@ -77,6 +77,15 @@ func (n *recoveryNode) Stats() stack.RecoveryStats {
 	}
 }
 
+// RoundStats exposes the engine's cumulative round and reply counters.
+// The telemetry sampler type-asserts for this method to build its
+// gossip-activity time series without the stack API growing a
+// recovery-protocol-specific surface.
+func (n *recoveryNode) RoundStats() (rounds, replies uint64) {
+	s := n.eng.Stats()
+	return s.RoundsAnon + s.RoundsCached, s.RepliesReceived
+}
+
 func (n *recoveryNode) Start() {
 	if n.ownUni {
 		n.uni.Start()

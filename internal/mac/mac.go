@@ -23,6 +23,7 @@ package mac
 import (
 	"time"
 
+	"anongossip/internal/metrics"
 	"anongossip/internal/mobility"
 	"anongossip/internal/pkt"
 	"anongossip/internal/radio"
@@ -155,6 +156,14 @@ type Stats struct {
 	// RTSSent and CTSSent count RTS/CTS control frames.
 	RTSSent uint64
 	CTSSent uint64
+	// TxAttempts counts channel-occupying transmission starts for
+	// queued frames — data frames and RTS handshake openers, retries
+	// included (ACK/CTS responses are counted by their own fields).
+	TxAttempts uint64
+	// BackoffWait accumulates the contention wait this node armed
+	// (DIFS + drawn backoff slots per cycle) — the time the MAC spent
+	// standing off the channel rather than occupying it.
+	BackoffWait time.Duration
 	// ElidedEvents counts MAC events folded out of the kernel: the
 	// airtime-end step the eager code scheduled per data/RTS
 	// transmission, now run from the radio's TxDone hook (one per
@@ -278,6 +287,9 @@ type DCF struct {
 	lastSeq map[pkt.NodeID]uint16
 
 	stats Stats
+	// chm, when non-nil, receives per-layer channel-usage observations
+	// for every transmission this MAC starts (see SetChannelMetrics).
+	chm *metrics.ChannelCounters
 }
 
 // New attaches a MAC entity for node id to the medium. pos supplies the
@@ -343,6 +355,17 @@ func (d *DCF) elideStep() {
 
 // Stats returns a copy of the MAC counters.
 func (d *DCF) Stats() Stats { return d.stats }
+
+// SetChannelMetrics points the MAC at a shared per-run channel-usage
+// accumulator; every transmission start then reports its layer,
+// airtime and bytes there. Nil (the default) disables the observation.
+//
+// Sharing one plain-field ChannelCounters across all MACs is safe even
+// under the sharded kernel because every transmission start executes
+// in solo context: data/RTS sends fire from AfterEmit-armed contention
+// steps and ACK/CTS responses from AfterEmit closures, all routed
+// through the coordinator's global queue (see metrics.ChannelCounters).
+func (d *DCF) SetChannelMetrics(c *metrics.ChannelCounters) { d.chm = c }
 
 // QueueLen returns the number of frames waiting (excluding in-flight).
 func (d *DCF) QueueLen() int { return len(d.queue) }
@@ -454,6 +477,7 @@ func (d *DCF) armBackoff(out *outgoing, reach sim.Time, probed bool) {
 	}
 	slots := d.rng.Intn(out.cw + 1)
 	wait := d.cfg.DIFS + time.Duration(slots)*d.cfg.SlotTime
+	d.stats.BackoffWait += wait
 	// The expiry may start a transmission (AfterEmit); its DIFS floor
 	// is what makes Config.MinTxDelay a sound lookahead bound.
 	d.stepKind, d.stepOut = stepBackoff, out
@@ -612,7 +636,11 @@ func (d *DCF) transmitRTS(out *outgoing) {
 		return
 	}
 	d.stats.RTSSent++
+	d.stats.TxAttempts++
 	d.stats.BytesSent += uint64(d.cfg.RTSBytes)
+	if d.chm != nil {
+		d.chm.ObserveTx(metrics.LayerMAC, rtsAt, d.cfg.RTSBytes)
+	}
 	// The airtime-end step is virtual: the radio's TxDone hook arms the
 	// CTS timeout when the RTS leaves the air.
 	d.vtxOut, d.vtxAt, d.vtxKind = out, d.sched.Now()+rtsAt, frameRTS
@@ -631,6 +659,10 @@ func (d *DCF) transmitData(out *outgoing) {
 		return
 	}
 	d.stats.BytesSent += uint64(d.cfg.HeaderBytes + payloadSize)
+	d.stats.TxAttempts++
+	if d.chm != nil {
+		d.chm.ObserveTx(metrics.LayerOf(out.frm.payload.Kind), at, d.cfg.HeaderBytes+payloadSize)
+	}
 	if out.attempt == 0 {
 		if out.frm.dst == pkt.Broadcast {
 			d.stats.BroadcastSent++
@@ -790,6 +822,9 @@ func (d *DCF) onRTS(frm frame) {
 		if err := d.tr.StartTx(cts, ctsAt); err == nil {
 			d.stats.CTSSent++
 			d.stats.BytesSent += uint64(d.cfg.CTSBytes)
+			if d.chm != nil {
+				d.chm.ObserveTx(metrics.LayerMAC, ctsAt, d.cfg.CTSBytes)
+			}
 		}
 	})
 }
@@ -815,6 +850,9 @@ func (d *DCF) onData(frm frame) {
 		if err := d.tr.StartTx(ack, d.ackAirtime()); err == nil {
 			d.stats.AcksSent++
 			d.stats.BytesSent += uint64(d.cfg.AckBytes)
+			if d.chm != nil {
+				d.chm.ObserveTx(metrics.LayerMAC, d.ackAirtime(), d.cfg.AckBytes)
+			}
 		}
 	})
 	// Filter duplicates from ACK-lost retransmissions.

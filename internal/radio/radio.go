@@ -155,6 +155,11 @@ type Medium struct {
 
 	// txFree pools transmission records (and their receiver tables).
 	txFree []*transmission
+	// activeTx counts transmissions currently on the air — incremented
+	// at StartTx, decremented when the finish processing retires the
+	// record. It is the in-flight gauge the metrics sampler reads; like
+	// stats it is only touched from solo-context events.
+	activeTx int
 	// elided counts the per-receiver finish events the batched model
 	// folded into per-frame events; see ElidedEvents.
 	elided uint64
@@ -181,6 +186,9 @@ func NewMedium(sched *sim.Scheduler, params Params) *Medium {
 
 // Stats returns a copy of the channel counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// ActiveTx returns the number of transmissions currently on the air.
+func (m *Medium) ActiveTx() int { return m.activeTx }
 
 // Range returns the configured transmission radius in metres.
 func (m *Medium) Range() float64 { return m.params.Range }
@@ -469,6 +477,7 @@ func (t *Transceiver) StartTxNotify(frame any, airtime sim.Time, done TxDone) er
 	tx.origin = t.pos.Position(now)
 	m.index.AddTx(tx)
 	m.stats.Transmissions++
+	m.activeTx++
 	t.sent++
 	t.txEnd = tx.end
 
@@ -566,6 +575,7 @@ func (m *Medium) finishTx(tx *transmission) {
 	done := tx.done
 	m.index.RemoveTx(tx)
 	m.releaseTx(tx)
+	m.activeTx--
 	if done != nil {
 		done.TxDone()
 	}
@@ -623,6 +633,7 @@ func (t *Transceiver) startTxRef(tx *transmission, now sim.Time) {
 		done := tx.done
 		m.index.RemoveTx(tx)
 		m.releaseTx(tx)
+		m.activeTx--
 		if done != nil {
 			done.TxDone()
 		}

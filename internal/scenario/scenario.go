@@ -21,6 +21,7 @@ import (
 	"anongossip/internal/gossip"
 	"anongossip/internal/mac"
 	"anongossip/internal/maodv"
+	"anongossip/internal/metrics"
 	"anongossip/internal/mobility"
 	"anongossip/internal/node"
 	"anongossip/internal/odmrp"
@@ -200,6 +201,15 @@ type Config struct {
 	// all kinds).
 	TraceKinds []pkt.Kind
 
+	// MetricsWindow, when positive, enables the telemetry sampler: the
+	// run's channel-utilization counters are snapshotted at this cadence
+	// and the per-window deltas collected into Result.Metrics. The
+	// sampler is observe-only — its timer chain is subtracted from
+	// Result.Events and its snapshots read protocol state without
+	// mutating it, so every result stays bit-identical with sampling on
+	// or off.
+	MetricsWindow time.Duration
+
 	// Per-layer parameter blocks.
 	MAC    mac.Config
 	AODV   aodv.Config
@@ -290,8 +300,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scenario: unknown reception model %d", int(c.RxModel))
 	case c.Scheduler != sim.SchedulerSerial && c.Scheduler != sim.SchedulerSharded:
 		return fmt.Errorf("scenario: unknown scheduler kind %d (registered: %s)", int(c.Scheduler), sim.SchedulerNames())
-	case c.Scheduler == sim.SchedulerSharded && c.TraceCapacity > 0:
-		return fmt.Errorf("scenario: packet tracing requires the serial scheduler (the shared trace ring is not safe under parallel shard execution)")
+	case c.MetricsWindow < 0:
+		return fmt.Errorf("scenario: negative metrics window %v", c.MetricsWindow)
 	}
 	return nil
 }
@@ -366,6 +376,18 @@ type Result struct {
 	// identical across reception models (and across the index and
 	// queue kinds) for the same configuration and seed.
 	Events uint64
+	// EventsProcessed, ElidedKernel, ElidedRadio and ElidedMAC break
+	// Events down into executed kernel events and the three elision
+	// sources: postponed contention hops the kernel re-enqueued without
+	// firing, per-receiver receptions the batched radio model folded
+	// into per-frame finishes, and MAC timers cancelled instead of
+	// firing as no-ops. EventsProcessed excludes the telemetry
+	// sampler's own timer chain, so the four fields sum to Events
+	// regardless of Config.MetricsWindow.
+	EventsProcessed uint64
+	ElidedKernel    uint64
+	ElidedRadio     uint64
+	ElidedMAC       uint64
 	// MeanDegree is the average neighbour count at the end of the run.
 	MeanDegree float64
 	// HeapLiveBytes is the process's live heap after the run with the
@@ -374,6 +396,12 @@ type Result struct {
 	HeapLiveBytes uint64
 	// Trace holds the packet trace when Config.TraceCapacity > 0.
 	Trace *trace.Ring
+	// Metrics holds the sampled channel-utilization series when
+	// Config.MetricsWindow > 0.
+	Metrics *metrics.Series
+	// Channel holds the run's final per-layer airtime and transmission
+	// totals when Config.MetricsWindow > 0.
+	Channel *metrics.ChannelCounters
 }
 
 // DeliveryRatio is mean received over packets sent, in [0, 1].
@@ -447,7 +475,19 @@ type world struct {
 	isSource  map[int]bool
 	sent      int
 	sentAt    map[pkt.SeqKey]sim.Time
+	// tracer is the serial kernel's single trace ring. Under the sharded
+	// kernel each lane records into its own ring (window execution) plus
+	// one shared solo ring (sweep/solo execution, which is
+	// coordinator-serial by construction); collect merges them back into
+	// serial order by the ExecRank stamps.
 	tracer    *trace.Ring
+	laneRings []*trace.Ring
+	soloRing  *trace.Ring
+	// chm accumulates per-layer channel occupancy across all MACs;
+	// sampler turns it (plus the other cumulative counters) into the
+	// windowed series. Both nil unless Config.MetricsWindow > 0.
+	chm     *metrics.ChannelCounters
+	sampler *metrics.Sampler
 
 	treeLatSum, recLatSum     time.Duration
 	treeLatCount, recLatCount uint64
@@ -487,10 +527,33 @@ func build(cfg Config) (*world, error) {
 	}
 
 	if cfg.TraceCapacity > 0 {
-		w.tracer = trace.NewRing(cfg.TraceCapacity)
-		if len(cfg.TraceKinds) > 0 {
-			w.tracer.SetFilter(trace.KindFilter(cfg.TraceKinds...))
+		newRing := func() *trace.Ring {
+			r := trace.NewRing(cfg.TraceCapacity)
+			if len(cfg.TraceKinds) > 0 {
+				r.SetFilter(trace.KindFilter(cfg.TraceKinds...))
+			}
+			return r
 		}
+		if w.coord == nil {
+			w.tracer = newRing()
+		} else {
+			// One ring per lane plus a solo ring; each lane ring is as
+			// large as the merged capacity so no lane evicts events the
+			// merged last-capacity window would retain. Window-recorded
+			// events may carry provisional ranks until the barrier
+			// resolves them.
+			w.laneRings = make([]*trace.Ring, w.coord.NumShards())
+			for i := range w.laneRings {
+				w.laneRings[i] = newRing()
+			}
+			w.soloRing = newRing()
+			w.coord.OnBarrier(func(lane int, resolve func(uint64) uint64) {
+				w.laneRings[lane].Resolve(resolve)
+			})
+		}
+	}
+	if cfg.MetricsWindow > 0 {
+		w.chm = &metrics.ChannelCounters{}
 	}
 
 	params := stack.Params{
@@ -505,22 +568,47 @@ func build(cfg Config) (*world, error) {
 		id := pkt.NodeID(i + 1)
 		mob := mobility.NewWaypoint(mobCfg, root.Derive(fmt.Sprintf("mob/%d", i)))
 		nodeSched := w.sched
+		lane := -1
 		if w.coord != nil {
 			// Spatial stripes over the initial positions. Any static
 			// partition is bit-identical (correctness comes from shard
 			// ownership, not geometry); striping just keeps nearby nodes
 			// — whose events cluster at the same instants — on the same
 			// lane for load balance.
-			nodeSched = w.coord.Shard(stripeShard(mob.Position(0).X, cfg.Area.W, w.coord.NumShards()))
+			lane = stripeShard(mob.Position(0).X, cfg.Area.W, w.coord.NumShards())
+			nodeSched = w.coord.Shard(lane)
 		}
 		rt, err := simrt.New(nodeSched, root.Derive(fmt.Sprintf("stack/%d", i)), w.medium, id, mob, cfg.MAC)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %w", err)
 		}
 		rt.MAC().SetHorizon(cfg.Duration)
+		if w.chm != nil {
+			rt.MAC().SetChannelMetrics(w.chm)
+		}
 		st := node.NewOnRuntime(rt)
 		if w.tracer != nil {
-			st.SetTracer(w.tracer.Record)
+			ring, ls := w.tracer, nodeSched
+			st.SetTracer(func(e trace.Event) {
+				e.Seq = ls.ExecRank()
+				ring.Record(e)
+			})
+		} else if w.laneRings != nil {
+			// Record into the node's own lane ring during window
+			// execution (lane-exclusive) and into the shared solo ring
+			// otherwise (coordinator-serial). Records that tie on
+			// (At, Seq) — one fired event tracing several operations —
+			// always land in the same ring, which is what lets
+			// MergeRings restore the exact serial order.
+			ring, ls := w.laneRings[lane], nodeSched
+			st.SetTracer(func(e trace.Event) {
+				e.Seq = ls.ExecRank()
+				if w.coord.InWindow() {
+					ring.Record(e)
+				} else {
+					w.soloRing.Record(e)
+				}
+			})
 		}
 		w.rts = append(w.rts, rt)
 		w.stacks = append(w.stacks, st)
@@ -595,7 +683,70 @@ func build(cfg Config) (*world, error) {
 			w.sched.At(at, func() { w.sendData(src) })
 		}
 	}
+
+	// Sampler timer chain on the global lane: every tick runs solo, so
+	// the snapshot may read cross-node and medium state. The chain ends
+	// with a tick exactly at the horizon (events at the horizon still
+	// fire), closing the final — possibly partial — window; every
+	// scheduled tick fires, so Sampler.Fired equals the chain's
+	// processed-event contribution and collect can subtract it exactly.
+	if cfg.MetricsWindow > 0 {
+		w.sampler = metrics.NewSampler(cfg.MetricsWindow, w.snapshot)
+		var tick func()
+		tick = func() {
+			now := w.sched.Now()
+			w.sampler.Tick(now)
+			if now >= cfg.Duration {
+				return
+			}
+			next := now + cfg.MetricsWindow
+			if next > cfg.Duration {
+				next = cfg.Duration
+			}
+			w.sched.At(next, tick)
+		}
+		first := cfg.MetricsWindow
+		if first > cfg.Duration {
+			first = cfg.Duration
+		}
+		w.sched.At(first, tick)
+	}
 	return w, nil
+}
+
+// snapshot reads the run's cumulative telemetry counters. It runs solo
+// on the global lane (the sampler's timer chain), so cross-node and
+// medium state are safe to read; it mutates nothing.
+func (w *world) snapshot() metrics.Snapshot {
+	var s metrics.Snapshot
+	s.AirtimeByLayer = w.chm.AirtimeByLayer
+	s.TxByLayer = w.chm.TxByLayer
+	s.Collisions = w.medium.Stats().Collisions
+	s.InFlight = w.medium.ActiveTx()
+	for _, rt := range w.rts {
+		m := rt.MAC()
+		st := m.Stats()
+		s.MACTxAttempts += st.TxAttempts
+		s.MACRetries += st.Retries
+		s.MACBackoff += st.BackoffWait
+		s.QueueDepth += m.QueueLen()
+	}
+	for _, st := range w.stacks {
+		s.Delivered += st.Stats().Delivered
+	}
+	for _, idx := range w.memberIdx {
+		if rec := w.recovery[idx]; rec != nil {
+			s.DataDelivered += rec.Stats().Delivered
+			if gs, ok := rec.(interface{ RoundStats() (uint64, uint64) }); ok {
+				rounds, replies := gs.RoundStats()
+				s.GossipRounds += rounds
+				s.GossipReplies += replies
+			}
+		} else {
+			s.DataDelivered += w.routing[idx].Delivered()
+		}
+	}
+	return s
 }
 
 // stripeShard maps an x coordinate onto one of n vertical stripes.
@@ -653,6 +804,12 @@ func (w *world) collect() *Result {
 		processed = w.coord.Processed()
 		elided = w.coord.Elided()
 	}
+	// The sampler's timer chain is real scheduler events, but it is
+	// measurement, not simulation: subtracting its fired count keeps
+	// Events bit-identical with sampling on or off.
+	if w.sampler != nil {
+		processed -= w.sampler.Fired()
+	}
 	// Logical events: the batched reception model folds per-receiver
 	// finish events into per-frame ones, the MAC cancels contention
 	// timers whose frame completed early instead of letting them fire
@@ -661,18 +818,32 @@ func (w *world) collect() *Result {
 	// every elided count keeps the metric — and the golden digests
 	// pinned on it — identical across reception models, indexes,
 	// queues, schedulers and fold settings.
-	events := processed + elided + w.medium.ElidedEvents()
+	radioElided := w.medium.ElidedEvents()
+	var macElided uint64
 	for _, rt := range w.rts {
-		events += rt.MAC().Stats().ElidedEvents
+		macElided += rt.MAC().Stats().ElidedEvents
 	}
+	events := processed + elided + radioElided + macElided
 	res := &Result{
-		Stack:      w.spec,
-		Seed:       w.cfg.Seed,
-		Sent:       w.sent,
-		Source:     pkt.NodeID(w.memberIdx[0] + 1),
-		Events:     events,
-		MeanDegree: w.medium.MeanDegree(),
-		Trace:      w.tracer,
+		Stack:           w.spec,
+		Seed:            w.cfg.Seed,
+		Sent:            w.sent,
+		Source:          pkt.NodeID(w.memberIdx[0] + 1),
+		Events:          events,
+		EventsProcessed: processed,
+		ElidedKernel:    elided,
+		ElidedRadio:     radioElided,
+		ElidedMAC:       macElided,
+		MeanDegree:      w.medium.MeanDegree(),
+		Trace:           w.tracer,
+	}
+	if w.laneRings != nil {
+		res.Trace = trace.MergeRings(w.cfg.TraceCapacity, append(append([]*trace.Ring{}, w.laneRings...), w.soloRing)...)
+	}
+	if w.sampler != nil {
+		series := w.sampler.Series()
+		res.Metrics = &series
+		res.Channel = w.chm
 	}
 	res.MACCollisions = w.medium.Stats().Collisions
 	if p, ok := ProtocolOf(w.spec); ok {

@@ -297,6 +297,16 @@ type Sharded struct {
 	delta      Time
 	workers    int
 
+	// curRank is the serial rank of the solo event currently executing
+	// (sweep, soloRun and global pops). Lane ExecRank reads it outside
+	// windows, so observers in solo callbacks that touch several nodes
+	// — a radio finish delivering across lanes — all see the same rank.
+	curRank uint64
+	// onBarrier, set via OnBarrier, runs once per active lane at the
+	// end of each window barrier, after exact ranks are assigned and
+	// before the window logs are recycled.
+	onBarrier func(lane int, resolve func(uint64) uint64)
+
 	inWindow bool
 	wEnd     Time
 	stopped  bool
@@ -387,6 +397,29 @@ func (c *Sharded) Pending() int {
 // Stop makes Run return once the event (or window) currently executing
 // completes.
 func (c *Sharded) Stop() { c.stopped = true }
+
+// InWindow reports whether a parallel window is executing. Observers
+// that must route records to a single-owner sink (the per-lane trace
+// rings) use it to pick between the solo sink and the lane's own:
+// workers read it only while it is stably true (set before the window's
+// jobs are handed out, cleared after the barrier's WaitGroup), the same
+// publication discipline shardCtx.at relies on.
+func (c *Sharded) InWindow() bool { return c.inWindow }
+
+// OnBarrier installs a hook invoked once per active lane at the end of
+// every window barrier, after the replay has assigned exact serial
+// ranks. resolve maps a provisional ExecRank value (top bit set; see
+// RankIsProvisional) observed on that lane during the window to the
+// exact rank the serial kernel would have issued. The hook runs on the
+// coordinator goroutine with the lanes quiescent.
+func (c *Sharded) OnBarrier(fn func(lane int, resolve func(uint64) uint64)) {
+	c.onBarrier = fn
+}
+
+// RankIsProvisional reports whether an ExecRank value is a provisional
+// window tag rather than an exact serial rank (see Scheduler.ExecRank).
+// Exact ranks are event counts and never reach the tag bit.
+func RankIsProvisional(rank uint64) bool { return rank&execTag != 0 }
 
 func (c *Sharded) laneSched(lane int32) *Scheduler {
 	if lane == laneGlobal {
@@ -563,6 +596,7 @@ func (c *Sharded) sweep(t Time) {
 			sl.fn = nil
 			sl.state = slotFired
 			s.free = append(s.free, g.slot)
+			c.curRank = g.rank
 			fn()
 			s.processed++
 		default:
@@ -577,6 +611,7 @@ func (c *Sharded) sweep(t Time) {
 				s.elided++
 				continue
 			}
+			c.curRank = best
 			s.fire(e)()
 			s.processed++
 		}
@@ -615,6 +650,7 @@ func (c *Sharded) soloRun(s *Scheduler, wEnd Time) {
 			s.elided++
 			continue
 		}
+		c.curRank = s.pool[e.slot].rank
 		s.fire(e)()
 		s.processed++
 	}
@@ -687,6 +723,14 @@ func (c *Sharded) runWindow(s *Scheduler) {
 		rec := execRec{at: e.at, rank: sl.rank, firstChild: int32(len(ctx.children))}
 		sl.rank = execTag | uint64(len(ctx.recs))
 		ctx.freed = append(ctx.freed, e.slot)
+		if rec.rank != rankPending {
+			s.curRank = rec.rank
+		} else {
+			// Scheduled and executed inside this same window: the exact
+			// rank arrives at the barrier. Publish the record index as a
+			// provisional ExecRank; the OnBarrier resolver maps it.
+			s.curRank = sl.rank
+		}
 		fn()
 		rec.nChild = int32(len(ctx.children)) - rec.firstChild
 		ctx.recs = append(ctx.recs, rec)
@@ -749,6 +793,12 @@ func (c *Sharded) barrier() {
 	c.rankCtr = ctr
 	for _, s := range c.active {
 		ctx := s.shard
+		if c.onBarrier != nil && len(ctx.recs) > 0 {
+			recs := ctx.recs
+			c.onBarrier(int(ctx.idx), func(prov uint64) uint64 {
+				return recs[prov&^execTag].rank
+			})
+		}
 		for _, idx := range ctx.freed {
 			s.free = append(s.free, idx)
 		}

@@ -231,6 +231,13 @@ type Scheduler struct {
 	// subtracts it and compact drops them.
 	cancelled int
 
+	// curRank is the serial rank of the event currently executing — the
+	// position it holds (or will hold) in the serial total order. The
+	// serial kernel sets it to the popped entry's seq before firing;
+	// the sharded kernel's execution paths maintain it per lane (see
+	// ExecRank for the provisional-rank case inside parallel windows).
+	curRank uint64
+
 	// shard is non-nil when this scheduler is one lane of a Sharded
 	// coordinator (a per-region lane, or the coordinator's global lane).
 	// It reroutes At/AfterEmit through the coordinator's ordering
@@ -448,6 +455,7 @@ func (s *Scheduler) Run(until Time) uint64 {
 			s.repost(e)
 			continue
 		}
+		s.curRank = e.seq
 		s.fire(e)()
 		s.processed++
 		n++
@@ -480,9 +488,34 @@ func (s *Scheduler) RunAll(maxEvents uint64) (uint64, bool) {
 			n++ // an elided hop still counts against the event budget
 			continue
 		}
+		s.curRank = e.seq
 		s.fire(e)()
 		s.processed++
 		n++
 	}
 	return n, s.q.len() == 0
+}
+
+// ExecRank identifies the event currently executing by its serial
+// rank: the position the event holds in the total order both kernels
+// execute. Observers (the packet tracer) stamp recorded facts with it
+// so records from different sharded lanes can be merged back into
+// exact serial order.
+//
+// Inside a parallel window, an event that was also *scheduled* inside
+// the window does not know its exact rank yet — the window barrier
+// assigns it afterwards. For those, ExecRank returns a provisional
+// value with the top bit set (RankIsProvisional reports it); the
+// coordinator's barrier hook (Sharded.OnBarrier) supplies the
+// resolver that maps provisional values to the exact ranks, once per
+// window, before any merge can observe them.
+func (s *Scheduler) ExecRank() uint64 {
+	if s.shard != nil {
+		c := s.shard.coord
+		if c.inWindow {
+			return s.curRank
+		}
+		return c.curRank
+	}
+	return s.curRank
 }
